@@ -1,0 +1,271 @@
+// Command benchgen regenerates every table and figure of the paper's
+// evaluation and prints them as text tables. See EXPERIMENTS.md for the
+// recorded output and the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchgen [-quick] [-only fig9,table1,...]
+//
+// -quick shrinks the datasets (~4x faster, noisier metrics).
+// -only runs a comma-separated subset: table1, table2, fig3, fig4, fig6,
+// fig7, accuracy, fig9, fig10, fig11a, fig11b, fig11c, fig11d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vibguard/internal/attack"
+	"vibguard/internal/eval"
+	"vibguard/internal/phoneme"
+	"vibguard/internal/selection"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller datasets, faster run")
+	only := flag.String("only", "", "comma-separated experiment subset")
+	flag.Parse()
+	if err := run(*quick, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only string) error {
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			wanted[name] = true
+		}
+	}
+	want := func(name string) bool { return len(wanted) == 0 || wanted[name] }
+
+	figCfg := eval.DefaultFigureConfig()
+	tableAttempts := 10
+	selCfg := selection.DefaultConfig()
+	accuracyVoices, accuracyCmds, accuracyEpochs, accuracyHidden := 3, 10, 6, 48
+	if quick {
+		figCfg = eval.FigureConfig{Participants: 6, CommandsPerUser: 3, AttacksPerKind: 18, Seed: 1}
+		selCfg.SpeakerCount, selCfg.SegmentsPerSpeaker = 4, 2
+		accuracyVoices, accuracyCmds, accuracyEpochs, accuracyHidden = 2, 6, 4, 24
+	}
+
+	start := time.Now()
+	if want("table1") {
+		if err := runTableI(tableAttempts); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		runTableII()
+	}
+	if want("fig3") {
+		if err := runSpectra("Figure 3 (audio domain)", eval.Figure3, 20); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		if err := runSpectra("Figure 4 (vibration domain)", eval.Figure4, 20); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		if err := runFigure6(selCfg); err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		if err := runFigure7(); err != nil {
+			return err
+		}
+	}
+	if want("accuracy") {
+		if err := runAccuracy(accuracyHidden, accuracyVoices, accuracyCmds, accuracyEpochs); err != nil {
+			return err
+		}
+	}
+	if want("fig9") || want("fig10") {
+		kinds := []attack.Kind{}
+		if want("fig9") {
+			kinds = append(kinds, attack.Random, attack.Replay, attack.Synthesis)
+		}
+		if want("fig10") {
+			kinds = append(kinds, attack.HiddenVoice)
+		}
+		if err := runROCFigures(kinds, figCfg); err != nil {
+			return err
+		}
+	}
+	if want("fig11a") {
+		if err := runFigure11("Figure 11a: EER vs attack volume (replay attack)", eval.Figure11a, figCfg); err != nil {
+			return err
+		}
+	}
+	if want("fig11b") {
+		if err := runFigure11("Figure 11b: EER vs barrier material (full system)", eval.Figure11b, figCfg); err != nil {
+			return err
+		}
+	}
+	if want("fig11c") {
+		if err := runFigure11("Figure 11c: EER vs barrier-to-VA distance (full system)", eval.Figure11c, figCfg); err != nil {
+			return err
+		}
+	}
+	if want("fig11d") {
+		if err := runFigure11("Figure 11d: EER per room (full system)", eval.Figure11d, figCfg); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nbenchgen finished in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func runTableI(attempts int) error {
+	header("Table I: thru-barrier attack success against VA devices")
+	entries, err := eval.TableI(attempts, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-13s %-22s %6s %s\n", "Device", "Barrier", "Attack", "SPL", "Success")
+	for _, e := range entries {
+		result := fmt.Sprintf("%d/%d", e.Successes, e.Attempts)
+		if !e.Tested {
+			result = "-"
+		}
+		fmt.Printf("%-12s %-13s %-22s %4.0fdB %s\n", e.Device, e.Barrier, e.Attack, e.SPL, result)
+	}
+	return nil
+}
+
+func runTableII() {
+	header("Table II: common TIMIT phonemes (selected phonemes marked *)")
+	selected := selection.CanonicalSelected()
+	col := 0
+	for _, spec := range phoneme.All() {
+		mark := " "
+		if selected[spec.Symbol] {
+			mark = "*"
+		}
+		fmt.Printf("%s%-3s %4d   ", mark, spec.Symbol, spec.Appearances)
+		if col++; col%6 == 0 {
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\nselected: %d of %d\n", len(selected), phoneme.Count())
+}
+
+func runSpectra(title string, gen func([]string, int, int64) ([]eval.SpectrumComparison, error), samples int) error {
+	header(title + ": /ae/ and /v/ before vs after the glass window")
+	cmps, err := gen([]string{"ae", "v"}, samples, 1)
+	if err != nil {
+		return err
+	}
+	for _, cmp := range cmps {
+		fmt.Printf("\n/%s/\n%10s %12s %12s %8s\n", cmp.Symbol, "freq(Hz)", "before", "after", "ratio")
+		step := len(cmp.Freqs) / 12
+		if step < 1 {
+			step = 1
+		}
+		for k := 0; k < len(cmp.Freqs); k += step {
+			ratio := 0.0
+			if cmp.Before[k] > 0 {
+				ratio = cmp.After[k] / cmp.Before[k]
+			}
+			fmt.Printf("%10.1f %12.5f %12.5f %8.3f\n", cmp.Freqs[k], cmp.Before[k], cmp.After[k], ratio)
+		}
+	}
+	return nil
+}
+
+func runFigure6(cfg selection.Config) error {
+	header("Figure 6: third-quartile vibration magnitude of /er/ (phoneme selection)")
+	res, err := selection.Run(cfg)
+	if err != nil {
+		return err
+	}
+	er := res.Stats["er"]
+	fmt.Printf("alpha = %.4f\n", res.Alpha)
+	fmt.Printf("%6s %14s %14s\n", "bin", "Q3 thru-barrier", "Q3 direct")
+	for k := 2; k < len(er.QAdv); k += 3 {
+		fmt.Printf("%6.1f %14.5f %14.5f\n", float64(k)*200.0/64, er.QAdv[k], er.QUser[k])
+	}
+	fmt.Printf("/er/ sensitive: %v (Criterion I max %.5f < alpha; Criterion II min %.5f > alpha)\n",
+		er.Sensitive(), er.QAdvMax, er.QUserMin)
+	fmt.Printf("selected %d of %d phonemes: %v\n", len(res.Selected), phoneme.Count(), res.Selected)
+	return nil
+}
+
+func runFigure7() error {
+	header("Figure 7: accelerometer response to a 500-2500Hz chirp")
+	freqs, power, err := eval.Figure7(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %14s\n", "freq(Hz)", "power")
+	for k := 0; k < len(freqs); k += 16 {
+		fmt.Printf("%10.2f %14.6f\n", freqs[k], power[k])
+	}
+	var low, lowN, rest, restN float64
+	for k, f := range freqs {
+		if f > 0 && f <= 5 {
+			low += power[k]
+			lowN++
+		} else if f > 5 {
+			rest += power[k]
+			restN++
+		}
+	}
+	fmt.Printf("mean power 0-5Hz: %.6f, above 5Hz: %.6f (artifact ratio %.1fx)\n",
+		low/lowN, rest/restN, (low/lowN)/(rest/restN))
+	return nil
+}
+
+func runAccuracy(hidden, voices, cmds, epochs int) error {
+	header("Section V-B: BRNN phoneme detection accuracy")
+	direct, thru, err := eval.DetectionAccuracy(hidden, voices, cmds, epochs, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("without barrier: %.1f%%   (paper: 94%%)\n", direct*100)
+	fmt.Printf("through barrier: %.1f%%   (paper: 91%%)\n", thru*100)
+	return nil
+}
+
+func runROCFigures(kinds []attack.Kind, cfg eval.FigureConfig) error {
+	for _, kind := range kinds {
+		title := fmt.Sprintf("Figure 9 (%s)", kind)
+		if kind == attack.HiddenVoice {
+			title = "Figure 10 (hidden voice attack)"
+		}
+		header(title)
+		sums, err := eval.Figure9(kind, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %8s %8s %10s\n", "detector", "AUC", "EER", "threshold")
+		for _, s := range sums {
+			fmt.Printf("%-28s %8.3f %7.1f%% %10.2f\n", s.Name, s.AUC, s.EER*100, s.EERThreshold)
+		}
+	}
+	return nil
+}
+
+func runFigure11(title string, gen func(eval.FigureConfig) ([]eval.EERCell, error), cfg eval.FigureConfig) error {
+	header(title)
+	cells, err := gen(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-28s %-22s %8s\n", "setting", "detector", "attack", "EER")
+	for _, c := range cells {
+		fmt.Printf("%-10s %-28s %-22s %7.1f%%\n", c.Label, c.Method, c.Attack, c.EER*100)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command makewavs exports listenable WAV files of the simulation: a
+// synthesized voice command, its four attack renditions, the in-room
+// recordings with and without the barrier, and the wearable's vibration
+// capture (resampled up so it is audible).
+//
+// Usage:
+//
+//	makewavs [-dir out] [-cmd "turn on the lights"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"vibguard"
+	"vibguard/internal/dsp"
+	"vibguard/internal/wavio"
+)
+
+func main() {
+	dir := flag.String("dir", "wavs", "output directory")
+	cmdText := flag.String("cmd", "turn on the lights", "command to render")
+	flag.Parse()
+	if err := run(*dir, *cmdText); err != nil {
+		fmt.Fprintln(os.Stderr, "makewavs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, cmdText string) error {
+	var cmd vibguard.Command
+	found := false
+	for _, c := range vibguard.Commands() {
+		if c.Text == cmdText {
+			cmd, found = c, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown command %q (see vibguard.Commands())", cmdText)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(42))
+	voice := vibguard.NewVoicePool(1, 42)[0]
+	synth, err := vibguard.NewSynthesizer(voice)
+	if err != nil {
+		return err
+	}
+	utt, err := synth.Synthesize(cmd)
+	if err != nil {
+		return err
+	}
+	attacker := vibguard.NewAttacker(7)
+	room := vibguard.Rooms()[0]
+
+	save := func(name string, samples []float64, rate int) error {
+		// Normalize for comfortable playback.
+		peak := dsp.MaxAbs(samples)
+		if peak > 0 {
+			samples = dsp.Scale(samples, 0.8/peak)
+		}
+		path := filepath.Join(dir, name)
+		if err := wavio.WriteFile(path, samples, rate); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+
+	if err := save("command_clean.wav", utt.Samples, int(vibguard.SampleRate)); err != nil {
+		return err
+	}
+	replayed, err := attacker.ReplayAttack(utt.Samples)
+	if err != nil {
+		return err
+	}
+	if err := save("attack_replay.wav", replayed, int(vibguard.SampleRate)); err != nil {
+		return err
+	}
+	hidden, err := attacker.HiddenVoiceAttack(utt.Samples)
+	if err != nil {
+		return err
+	}
+	if err := save("attack_hidden.wav", hidden, int(vibguard.SampleRate)); err != nil {
+		return err
+	}
+
+	direct, err := room.Transmit(utt.Samples, vibguard.PathConfig{
+		SourceSPL: 72, DistanceM: 1.5, SampleRate: vibguard.SampleRate,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	if err := save("recording_in_room.wav", direct, int(vibguard.SampleRate)); err != nil {
+		return err
+	}
+	thru, err := room.Transmit(replayed, vibguard.PathConfig{
+		SourceSPL: 75, DistanceM: 2.1, ThroughBarrier: true, SampleRate: vibguard.SampleRate,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	if err := save("recording_thru_barrier.wav", thru, int(vibguard.SampleRate)); err != nil {
+		return err
+	}
+
+	// The wearable's vibration captures, resampled to 8 kHz so the 0-100Hz
+	// band is audible as a low rumble.
+	wearable := vibguard.NewFossilGen5()
+	for name, rec := range map[string][]float64{
+		"vibration_legit.wav":  direct,
+		"vibration_attack.wav": thru,
+	} {
+		vib, err := wearable.SenseVibration(rec, rng)
+		if err != nil {
+			return err
+		}
+		audible, err := dsp.Resample(vib, vibguard.AccelSampleRate, 8000)
+		if err != nil {
+			return err
+		}
+		if err := save(name, audible, 8000); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Command phonemestudy runs the offline barrier-effect-sensitive phoneme
+// selection study of Section V-A and prints the per-phoneme statistics,
+// the two criteria, and the resulting 31-phoneme set.
+//
+// Usage:
+//
+//	phonemestudy [-barrier glass|wood] [-speakers N] [-segments N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vibguard/internal/acoustics"
+	"vibguard/internal/phoneme"
+	"vibguard/internal/selection"
+)
+
+func main() {
+	barrierName := flag.String("barrier", "glass", "barrier material for Criterion I: glass or wood")
+	speakers := flag.Int("speakers", 10, "number of corpus speakers")
+	segments := flag.Int("segments", 5, "segments per speaker and SPL")
+	flag.Parse()
+	if err := run(*barrierName, *speakers, *segments); err != nil {
+		fmt.Fprintln(os.Stderr, "phonemestudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(barrierName string, speakers, segments int) error {
+	cfg := selection.DefaultConfig()
+	cfg.SpeakerCount = speakers
+	cfg.SegmentsPerSpeaker = segments
+	switch barrierName {
+	case "glass":
+		cfg.Barrier = acoustics.GlassWindow
+	case "wood":
+		cfg.Barrier = acoustics.WoodenDoor
+	default:
+		return fmt.Errorf("unknown barrier %q (want glass or wood)", barrierName)
+	}
+	fmt.Printf("Barrier-effect-sensitive phoneme selection (Section V-A)\n")
+	fmt.Printf("barrier: %s, alpha: %.4f, %d speakers x %d segments x %v dB SPL\n\n",
+		cfg.Barrier.Name, cfg.Alpha, cfg.SpeakerCount, cfg.SegmentsPerSpeaker, cfg.SPLs)
+
+	res, err := selection.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %6s %12s %12s %5s %5s %s\n",
+		"sym", "count", "maxQ3(adv)", "minQ3(user)", "CritI", "CritII", "selected")
+	for _, spec := range phoneme.All() {
+		s := res.Stats[spec.Symbol]
+		mark := ""
+		if s.Sensitive() {
+			mark = "  *"
+		}
+		fmt.Printf("%-4s %6d %12.5f %12.5f %5v %5v %s\n",
+			spec.Symbol, spec.Appearances, s.QAdvMax, s.QUserMin, s.PassI, s.PassII, mark)
+	}
+	fmt.Printf("\nselected %d of %d phonemes:\n%v\n", len(res.Selected), phoneme.Count(), res.Selected)
+	return nil
+}

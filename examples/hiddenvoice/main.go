@@ -1,0 +1,97 @@
+// Hiddenvoice: a closer look at the stealthiest attack. The obfuscated
+// command is unintelligible to humans but spans 0-6 kHz, which makes the
+// barrier's frequency selectivity even more visible to the defense
+// (Section VII-C). This example measures the obfuscation's bandwidth,
+// whether it still wakes the VA, and how the defense scores it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vibguard"
+	"vibguard/internal/attack"
+	"vibguard/internal/device"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	victim := vibguard.NewVoicePool(1, 9)[0]
+	synth, err := vibguard.NewSynthesizer(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wake := vibguard.WakeWords()[0] // "ok google"
+	utt, err := synth.Synthesize(wake)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker := vibguard.NewAttacker(2)
+	hidden, err := attacker.HiddenVoiceAttack(utt.Samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clearBW := attack.Bandwidth(utt.Samples, vibguard.SampleRate, 0.95)
+	hiddenBW := attack.Bandwidth(hidden, vibguard.SampleRate, 0.95)
+	fmt.Printf("clear command 95%% bandwidth:  %6.0f Hz\n", clearBW)
+	fmt.Printf("hidden command 95%% bandwidth: %6.0f Hz\n", hiddenBW)
+
+	// Does the obfuscated command still trigger the VA through the window?
+	room := vibguard.Rooms()[0]
+	googleHome := device.NewGoogleHome()
+	wakes := 0
+	const attempts = 10
+	for i := 0; i < attempts; i++ {
+		lead := make([]float64, int(0.3*vibguard.SampleRate))
+		padded := append(append(append([]float64{}, lead...), hidden...), lead...)
+		pressure, err := room.Transmit(padded, vibguard.PathConfig{
+			SourceSPL: 75, DistanceM: 2.1, ThroughBarrier: true,
+			SampleRate: vibguard.SampleRate,
+		}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := googleHome.Record(pressure, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if googleHome.TryWake(rec, rng) {
+			wakes++
+		}
+	}
+	fmt.Printf("wake-word success thru barrier at 75dB: %d/%d\n", wakes, attempts)
+
+	// And the defense's verdict on the full hidden command.
+	defense, err := vibguard.NewDefense(vibguard.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmdUtt, err := synth.Synthesize(vibguard.Commands()[7]) // "unlock the door"
+	if err != nil {
+		log.Fatal(err)
+	}
+	hiddenCmd, err := attacker.HiddenVoiceAttack(cmdUtt.Samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	transmit := func(dist float64) []float64 {
+		p, err := room.Transmit(hiddenCmd, vibguard.PathConfig{
+			SourceSPL: 75, DistanceM: dist, ThroughBarrier: true,
+			SampleRate: vibguard.SampleRate,
+		}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	va := transmit(2.1)
+	wear := vibguard.SimulateNetworkDelay(transmit(2.4), 0.1, rng)
+	verdict, err := defense.Inspect(va, wear, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("defense verdict on hidden 'unlock the door': score=%+.3f attack=%v\n",
+		verdict.Score, verdict.Attack)
+}

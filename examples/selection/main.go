@@ -1,0 +1,43 @@
+// Selection: run the offline barrier-effect-sensitive phoneme selection
+// (Section V-A) through the public API and show how each phoneme fares
+// against the two criteria.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vibguard"
+)
+
+func main() {
+	fmt.Println("Running the offline phoneme-selection study (Section V-A)...")
+	res, err := vibguard.RunPhonemeSelection()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("threshold alpha = %.4f\n\n", res.Alpha)
+	fmt.Printf("%-4s %12s %12s  %s\n", "sym", "maxQ3(adv)", "minQ3(user)", "verdict")
+	for sym, s := range res.Stats {
+		verdict := "selected"
+		switch {
+		case !s.PassI:
+			verdict = "excluded: still triggers the accelerometer through the barrier"
+		case !s.PassII:
+			verdict = "excluded: too weak to trigger the accelerometer at all"
+		}
+		fmt.Printf("%-4s %12.5f %12.5f  %s\n", sym, s.QAdvMax, s.QUserMin, verdict)
+	}
+	fmt.Printf("\n%d of 37 phonemes are barrier-effect sensitive:\n%v\n",
+		len(res.Selected), res.Selected)
+
+	// The canonical cached set matches the study.
+	canonical := vibguard.SelectedPhonemes()
+	mismatches := 0
+	for _, sym := range res.Selected {
+		if !canonical[sym] {
+			mismatches++
+		}
+	}
+	fmt.Printf("agreement with the cached canonical set: %d mismatches\n", mismatches)
+}

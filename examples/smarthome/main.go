@@ -1,0 +1,116 @@
+// Smarthome: the paper's motivating scenario. A smart lock in an
+// apartment accepts voice commands; an adversary behind the window tries
+// all four attack types at three volumes to unlock the door. The defense
+// guards the VA with cross-domain sensing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vibguard"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	room := vibguard.Rooms()[0] // apartment, glass window
+	victim := vibguard.NewVoicePool(6, 3)[0]
+	adversary := vibguard.NewVoicePool(6, 3)[5]
+	attacker := vibguard.NewAttacker(11)
+
+	// The target command the adversary wants to inject.
+	var unlock vibguard.Command
+	for _, c := range vibguard.Commands() {
+		if c.Text == "unlock the door" {
+			unlock = c
+		}
+	}
+
+	fmt.Println("Smart-lock scenario: apartment (Room A), glass window barrier")
+	fmt.Println("Defense: cross-domain sensing on the victim's Fossil Gen 5")
+	fmt.Println()
+
+	defense, err := vibguard.NewDefense(vibguard.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the victim's own unlock command must be accepted.
+	victimSynth, err := vibguard.NewSynthesizer(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victimUtt, err := victimSynth.Synthesize(unlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inspect := func(source []float64, spl, vaDist, wearDist float64, thru bool) *vibguard.Verdict {
+		transmit := func(dist float64) []float64 {
+			p, err := room.Transmit(source, vibguard.PathConfig{
+				SourceSPL: spl, DistanceM: dist, ThroughBarrier: thru,
+				SampleRate: vibguard.SampleRate,
+			}, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return p
+		}
+		va := transmit(vaDist)
+		wear := vibguard.SimulateNetworkDelay(transmit(wearDist), 0.05+rng.Float64()*0.1, rng)
+		verdict, err := defense.Inspect(va, wear, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return verdict
+	}
+
+	v := inspect(victimUtt.Samples, 70, 1.5, 0.3, false)
+	fmt.Printf("%-28s %6s  score=%+.3f -> %s\n", "victim says it in the room", "70dB", v.Score, decision(v))
+	fmt.Println()
+
+	// Attacks: build each attack sound, then play it behind the window.
+	victimSamples := [][]float64{victimUtt.Samples}
+	attacks := []struct {
+		kind  vibguard.AttackKind
+		build func() ([]float64, error)
+	}{
+		{vibguard.AttackRandom, func() ([]float64, error) {
+			adv := adversary
+			adv.Seed = rng.Int63()
+			return attacker.RandomAttack(adv, unlock)
+		}},
+		{vibguard.AttackReplay, func() ([]float64, error) {
+			return attacker.ReplayAttack(victimUtt.Samples)
+		}},
+		{vibguard.AttackSynthesis, func() ([]float64, error) {
+			return attacker.SynthesisAttack(victimSamples, unlock)
+		}},
+		{vibguard.AttackHiddenVoice, func() ([]float64, error) {
+			return attacker.HiddenVoiceAttack(victimUtt.Samples)
+		}},
+	}
+	blocked, total := 0, 0
+	for _, a := range attacks {
+		for _, spl := range []float64{65, 75, 85} {
+			audio, err := a.build()
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := inspect(audio, spl, 2.1, 2.4, true)
+			total++
+			if verdict.Attack {
+				blocked++
+			}
+			fmt.Printf("%-28s %4.0fdB  score=%+.3f -> %s\n", a.kind, spl, verdict.Score, decision(verdict))
+		}
+	}
+	fmt.Printf("\nblocked %d of %d thru-barrier attack attempts\n", blocked, total)
+}
+
+func decision(v *vibguard.Verdict) string {
+	if v.Attack {
+		return "REJECTED"
+	}
+	return "door unlocked"
+}

@@ -1,0 +1,3 @@
+module vibguard
+
+go 1.22

@@ -1,0 +1,168 @@
+package acoustics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vibguard/internal/dsp"
+)
+
+// Room is one evaluation environment: a size, a barrier the adversary hides
+// behind, and an ambient noise level.
+type Room struct {
+	// Name identifies the room ("A".."D").
+	Name string
+	// LengthM and WidthM are the room dimensions in meters.
+	LengthM, WidthM float64
+	// Barrier is the room's attackable barrier.
+	Barrier Barrier
+	// AmbientSPL is the background noise level in dB SPL.
+	AmbientSPL float64
+	// ReverbGain scales the strength of early reflections (0 disables).
+	ReverbGain float64
+}
+
+// Rooms returns the four room environments of the evaluation (Section
+// VII-A): Room A is a 7x6 m residential apartment with a glass window,
+// Rooms B (7x7 m) and C (6x4 m) are offices with wooden doors, and Room D
+// (5x3 m) is an office with a glass wall. Rooms A and D have glass
+// barriers, B and C wood (Fig. 11b).
+func Rooms() []Room {
+	return []Room{
+		{Name: "A", LengthM: 7, WidthM: 6, Barrier: GlassWindow, AmbientSPL: 40, ReverbGain: 0.3},
+		{Name: "B", LengthM: 7, WidthM: 7, Barrier: WoodenDoor, AmbientSPL: 39, ReverbGain: 0.32},
+		{Name: "C", LengthM: 6, WidthM: 4, Barrier: WoodenDoor, AmbientSPL: 41, ReverbGain: 0.28},
+		{Name: "D", LengthM: 5, WidthM: 3, Barrier: GlassWall, AmbientSPL: 42, ReverbGain: 0.25},
+	}
+}
+
+// RoomByName returns the room with the given name.
+func RoomByName(name string) (Room, error) {
+	for _, r := range Rooms() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Room{}, fmt.Errorf("acoustics: unknown room %q", name)
+}
+
+// Validate checks room parameters.
+func (r *Room) Validate() error {
+	if r.LengthM <= 0 || r.WidthM <= 0 {
+		return fmt.Errorf("acoustics: room %s has non-positive size", r.Name)
+	}
+	if err := r.Barrier.Validate(); err != nil {
+		return fmt.Errorf("acoustics: room %s: %w", r.Name, err)
+	}
+	return nil
+}
+
+// Reverberate adds simple early reflections scaled by the room size:
+// delayed, attenuated copies whose delays correspond to first-order wall
+// bounces. The exact bounce path lengths depend on where the source and
+// receiver stand, so the rng draws them per call — two receivers at
+// different positions hear differently colored versions of the same sound,
+// as in a real room. It returns a new slice of the same length.
+func (r *Room) Reverberate(x []float64, sampleRate float64, rng *rand.Rand) []float64 {
+	if r.ReverbGain <= 0 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	const speedOfSound = 343.0
+	// First-order bounce path excess lengths: between roughly half and
+	// twice the wall dimensions depending on geometry.
+	p1 := r.LengthM * (0.5 + rng.Float64())
+	p2 := (r.LengthM + r.WidthM) * (0.5 + rng.Float64())
+	d1 := int(p1 / speedOfSound * sampleRate)
+	d2 := int(p2 / speedOfSound * sampleRate)
+	g1 := r.ReverbGain * (0.7 + 0.6*rng.Float64())
+	g2 := g1 * 0.6
+	out := make([]float64, len(x))
+	copy(out, x)
+	for i := range x {
+		if i >= d1 && d1 > 0 {
+			out[i] += g1 * x[i-d1]
+		}
+		if i >= d2 && d2 > 0 {
+			out[i] += g2 * x[i-d2]
+		}
+	}
+	return out
+}
+
+// reverberateAt applies reflections whose strength grows with receiver
+// distance: the direct path falls off as 1/d while the diffuse field stays
+// roughly constant, so far receivers (a VA across the room) hear heavily
+// colored sound while near-field receivers (a wrist-worn wearable) hear
+// mostly the direct path.
+func (r *Room) reverberateAt(x []float64, sampleRate, distanceM float64, rng *rand.Rand) []float64 {
+	scaled := *r
+	scaled.ReverbGain = r.ReverbGain * distanceM
+	if scaled.ReverbGain > 0.85 {
+		scaled.ReverbGain = 0.85
+	}
+	return scaled.Reverberate(x, sampleRate, rng)
+}
+
+// PathConfig describes one acoustic path from a source to a receiver,
+// optionally through the room's barrier.
+type PathConfig struct {
+	// SourceSPL is the source loudness at 1 m in dB SPL.
+	SourceSPL float64
+	// DistanceM is the total source-to-receiver distance in meters.
+	DistanceM float64
+	// ThroughBarrier applies the room's barrier transmission.
+	ThroughBarrier bool
+	// OrientationGain models source directivity: human mouths and
+	// loudspeakers beam high frequencies forward, so a receiver off the
+	// speaking axis loses high-frequency energy. 1 (or 0, the zero
+	// value) means on-axis; values below 1 shelve the band above
+	// ~1.2 kHz by that factor.
+	OrientationGain float64
+	// SampleRate of the signal.
+	SampleRate float64
+}
+
+// Transmit carries a unit-calibrated source waveform along the path: the
+// source is scaled to SourceSPL, passed through the barrier if requested,
+// attenuated by spreading loss, reverberated, and mixed with ambient room
+// noise. The rng drives the noise; pass a seeded source for reproducible
+// experiments.
+func (r *Room) Transmit(source []float64, cfg PathConfig, rng *rand.Rand) ([]float64, error) {
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("acoustics: sample rate %v must be positive", cfg.SampleRate)
+	}
+	if cfg.DistanceM < 0 {
+		return nil, fmt.Errorf("acoustics: distance %vm must be non-negative", cfg.DistanceM)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	// Calibrate the source to the requested SPL at 1 m.
+	calibrated, err := dsp.NormalizeRMS(source, dsp.SPLToAmplitude(cfg.SourceSPL))
+	if err != nil {
+		return nil, fmt.Errorf("acoustics: %w", err)
+	}
+	x := calibrated
+	if g := cfg.OrientationGain; g > 0 && g < 1 {
+		x = dsp.FrequencyShape(x, cfg.SampleRate, func(f float64) float64 {
+			switch {
+			case f < 1200:
+				return 1
+			case f < 2400:
+				frac := (f - 1200) / 1200
+				return 1 + (g-1)*frac
+			default:
+				return g
+			}
+		})
+	}
+	if cfg.ThroughBarrier {
+		x = r.Barrier.Apply(x, cfg.SampleRate)
+	}
+	x = Propagate(x, cfg.DistanceM)
+	x = r.reverberateAt(x, cfg.SampleRate, cfg.DistanceM, rng)
+	noise := AmbientNoise(len(x), r.AmbientSPL, cfg.SampleRate, rng)
+	return dsp.Mix(x, noise), nil
+}

@@ -1,0 +1,174 @@
+package acoustics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/dsp"
+)
+
+func TestRoomsMatchPaperSetup(t *testing.T) {
+	rooms := Rooms()
+	if len(rooms) != 4 {
+		t.Fatalf("rooms = %d, want 4", len(rooms))
+	}
+	wantSizes := map[string][2]float64{
+		"A": {7, 6}, "B": {7, 7}, "C": {6, 4}, "D": {5, 3},
+	}
+	wantMaterial := map[string]Material{
+		"A": Glass, "B": Wood, "C": Wood, "D": Glass,
+	}
+	for _, r := range rooms {
+		if err := r.Validate(); err != nil {
+			t.Errorf("room %s: %v", r.Name, err)
+		}
+		sz := wantSizes[r.Name]
+		if r.LengthM != sz[0] || r.WidthM != sz[1] {
+			t.Errorf("room %s size %vx%v, want %vx%v", r.Name, r.LengthM, r.WidthM, sz[0], sz[1])
+		}
+		if r.Barrier.Material != wantMaterial[r.Name] {
+			t.Errorf("room %s barrier %v, want %v", r.Name, r.Barrier.Material, wantMaterial[r.Name])
+		}
+	}
+}
+
+func TestRoomByName(t *testing.T) {
+	r, err := RoomByName("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Barrier.Name != "wooden door" {
+		t.Errorf("room B barrier = %q", r.Barrier.Name)
+	}
+	if _, err := RoomByName("Z"); err == nil {
+		t.Error("unknown room should error")
+	}
+}
+
+func TestRoomValidate(t *testing.T) {
+	bad := Room{Name: "X", LengthM: 0, WidthM: 5, Barrier: GlassWindow}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero length should error")
+	}
+	bad = Room{Name: "X", LengthM: 5, WidthM: 5, Barrier: Barrier{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid barrier should error")
+	}
+}
+
+func TestReverberatePreservesLengthAndAddsEnergy(t *testing.T) {
+	room, err := RoomByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dsp.Tone(200, 0.5, 0.5, 16000)
+	y := room.Reverberate(x, 16000, rand.New(rand.NewSource(4)))
+	if len(y) != len(x) {
+		t.Fatalf("length changed: %d -> %d", len(x), len(y))
+	}
+	if dsp.Energy(y) <= dsp.Energy(x) {
+		t.Error("reverb added no energy")
+	}
+	// Zero reverb gain returns a copy.
+	dead := room
+	dead.ReverbGain = 0
+	z := dead.Reverberate(x, 16000, rand.New(rand.NewSource(4)))
+	for i := range x {
+		if z[i] != x[i] {
+			t.Fatal("zero-gain reverb altered signal")
+		}
+	}
+	z[0] = 99
+	if x[0] == 99 {
+		t.Fatal("zero-gain reverb shares storage with input")
+	}
+}
+
+func TestTransmitThroughBarrierAttenuatesHighs(t *testing.T) {
+	room, err := RoomByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fs = 16000.0
+	src := dsp.Mix(dsp.Tone(200, 1, 0.5, fs), dsp.Tone(2500, 1, 0.5, fs))
+	direct, err := room.Transmit(src, PathConfig{SourceSPL: 70, DistanceM: 2, SampleRate: fs}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thru, err := room.Transmit(src, PathConfig{SourceSPL: 70, DistanceM: 2, ThroughBarrier: true, SampleRate: fs}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(x []float64) float64 {
+		spec := dsp.PowerSpectrum(x)
+		lo := spec[dsp.FrequencyBin(200, len(x), fs)]
+		hi := spec[dsp.FrequencyBin(2500, len(x), fs)]
+		if lo == 0 {
+			return 0
+		}
+		return hi / lo
+	}
+	if ratio(thru) > ratio(direct)*0.2 {
+		t.Errorf("barrier did not skew spectrum: direct ratio %v, thru ratio %v", ratio(direct), ratio(thru))
+	}
+}
+
+func TestTransmitSPLScaling(t *testing.T) {
+	room, err := RoomByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := room
+	quiet.AmbientSPL = 0 // effectively no noise for this measurement
+	quiet.ReverbGain = 0
+	src := dsp.Tone(300, 1, 0.5, 16000)
+	loud, err := quiet.Transmit(src, PathConfig{SourceSPL: 85, DistanceM: 1, SampleRate: 16000}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := quiet.Transmit(src, PathConfig{SourceSPL: 65, DistanceM: 1, SampleRate: 16000}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDB := dsp.AmplitudeToDB(dsp.RMS(loud)) - dsp.AmplitudeToDB(dsp.RMS(soft))
+	if math.Abs(gotDB-20) > 1 {
+		t.Errorf("85dB vs 65dB delta = %v dB, want ~20", gotDB)
+	}
+}
+
+func TestTransmitDistanceScaling(t *testing.T) {
+	room, err := RoomByName("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	room.AmbientSPL = 0
+	room.ReverbGain = 0
+	src := dsp.Tone(300, 1, 0.5, 16000)
+	near, err := room.Transmit(src, PathConfig{SourceSPL: 75, DistanceM: 1, SampleRate: 16000}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := room.Transmit(src, PathConfig{SourceSPL: 75, DistanceM: 4, SampleRate: 16000}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.RMS(far) >= dsp.RMS(near) {
+		t.Error("farther receiver louder than near one")
+	}
+}
+
+func TestTransmitErrors(t *testing.T) {
+	room, err := RoomByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	src := []float64{1, 2, 3}
+	if _, err := room.Transmit(src, PathConfig{SourceSPL: 70, DistanceM: 1}, rng); err == nil {
+		t.Error("missing sample rate should error")
+	}
+	if _, err := room.Transmit(src, PathConfig{SourceSPL: 70, DistanceM: -1, SampleRate: 16000}, rng); err == nil {
+		t.Error("negative distance should error")
+	}
+}

@@ -1,0 +1,301 @@
+// Package attack implements the four thru-barrier attack types of the
+// threat model (Section II): random attacks (another speaker's voice),
+// replay attacks (recorded victim audio through a loudspeaker), voice
+// synthesis attacks (a parametric voice clone trained on victim samples),
+// and hidden voice attacks (obfuscated noise-like commands that remain
+// machine-recognizable).
+//
+// Every attack produces the acoustic waveform the adversary's loudspeaker
+// emits; the acoustics package then carries it through the barrier into
+// the room.
+package attack
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"vibguard/internal/device"
+	"vibguard/internal/dsp"
+	"vibguard/internal/phoneme"
+)
+
+// Kind identifies an attack type.
+type Kind int
+
+// Attack kinds of Section II.
+const (
+	Random Kind = iota + 1
+	Replay
+	Synthesis
+	HiddenVoice
+)
+
+// String names the attack as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case Random:
+		return "random attack"
+	case Replay:
+		return "replay attack"
+	case Synthesis:
+		return "voice synthesis attack"
+	case HiddenVoice:
+		return "hidden voice attack"
+	default:
+		return "unknown"
+	}
+}
+
+// Kinds returns all four attack kinds in paper order.
+func Kinds() []Kind { return []Kind{Random, Replay, Synthesis, HiddenVoice} }
+
+// Attacker generates attack waveforms against a victim.
+type Attacker struct {
+	// Loudspeaker is the playback device (Razer Sound Bar RC30 in the
+	// paper's experiments).
+	Loudspeaker device.Loudspeaker
+	rng         *rand.Rand
+}
+
+// NewAttacker creates an attacker with the standard loudspeaker.
+func NewAttacker(seed int64) *Attacker {
+	return &Attacker{
+		Loudspeaker: device.NewLoudspeaker(16000),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// RandomAttack speaks the command with the adversary's own voice: a voice
+// profile different from the victim's.
+func (a *Attacker) RandomAttack(adversary phoneme.VoiceProfile, cmd phoneme.Command) ([]float64, error) {
+	synth, err := phoneme.NewSynthesizer(adversary)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	utt, err := synth.Synthesize(cmd)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	out, err := a.Loudspeaker.Render(utt.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return out, nil
+}
+
+// ReplayAttack replays a recording of the victim's own voice through the
+// attacker's loudspeaker. The recording is assumed to have been captured
+// previously (e.g., from public speech), so it carries a microphone's
+// band-limit and noise before the loudspeaker's coloration.
+func (a *Attacker) ReplayAttack(victimUtterance []float64) ([]float64, error) {
+	if len(victimUtterance) == 0 {
+		return nil, fmt.Errorf("attack: empty victim utterance")
+	}
+	mic := device.NewMicrophone(16000)
+	recorded, err := mic.Record(victimUtterance, a.rng)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	out, err := a.Loudspeaker.Render(recorded)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return out, nil
+}
+
+// CloneVoice estimates a victim's voice profile from sample utterances, as
+// a stand-in for the transfer-learning synthesis model of [11]: it
+// estimates F0 by autocorrelation and reuses plausible defaults for the
+// remaining parameters, with small estimation errors.
+func (a *Attacker) CloneVoice(victimSamples [][]float64) (phoneme.VoiceProfile, error) {
+	if len(victimSamples) == 0 {
+		return phoneme.VoiceProfile{}, fmt.Errorf("attack: no victim samples")
+	}
+	var f0Sum float64
+	var f0Count int
+	for _, s := range victimSamples {
+		if f0, ok := EstimateF0(s, 16000); ok {
+			f0Sum += f0
+			f0Count++
+		}
+	}
+	if f0Count == 0 {
+		return phoneme.VoiceProfile{}, fmt.Errorf("attack: could not estimate F0 from victim samples")
+	}
+	f0 := f0Sum / float64(f0Count)
+	sex := phoneme.Male
+	formantScale := 0.98
+	if f0 > 160 {
+		sex = phoneme.Female
+		formantScale = 1.14
+	}
+	// Estimation error: the clone is close but not identical.
+	clone := phoneme.VoiceProfile{
+		Name:         "clone",
+		Sex:          sex,
+		F0:           f0 * (1 + 0.03*a.rng.NormFloat64()),
+		FormantScale: formantScale * (1 + 0.02*a.rng.NormFloat64()),
+		Loudness:     1.0,
+		Jitter:       0.02,
+		Seed:         a.rng.Int63(),
+	}
+	if clone.F0 < 60 {
+		clone.F0 = 60
+	}
+	if clone.F0 > 400 {
+		clone.F0 = 400
+	}
+	return clone, nil
+}
+
+// SynthesisAttack clones the victim's voice from samples and synthesizes
+// the target command with the cloned profile.
+func (a *Attacker) SynthesisAttack(victimSamples [][]float64, cmd phoneme.Command) ([]float64, error) {
+	clone, err := a.CloneVoice(victimSamples)
+	if err != nil {
+		return nil, err
+	}
+	synth, err := phoneme.NewSynthesizer(clone)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	utt, err := synth.Synthesize(cmd)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	out, err := a.Loudspeaker.Render(utt.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return out, nil
+}
+
+// HiddenVoiceAttack obfuscates a command into a noise-like signal that
+// preserves the band-energy envelope a speech recognizer keys on but is
+// unintelligible to humans [3]. It vocodes the command with a noise
+// carrier across 0-6 kHz subbands, so the result occupies a wider
+// frequency range than clear speech — which, as Section VII-C notes, makes
+// the barrier's frequency selectivity even more visible.
+func (a *Attacker) HiddenVoiceAttack(commandAudio []float64) ([]float64, error) {
+	if len(commandAudio) == 0 {
+		return nil, fmt.Errorf("attack: empty command audio")
+	}
+	const sampleRate = 16000.0
+	bands := []struct{ lo, hi float64 }{
+		{100, 500}, {500, 1000}, {1000, 2000}, {2000, 3000}, {3000, 4500}, {4500, 6000},
+	}
+	out := make([]float64, len(commandAudio))
+	const frame = 160 // 10 ms envelope resolution
+	for _, band := range bands {
+		center := (band.lo + band.hi) / 2
+		q := center / (band.hi - band.lo)
+		bp, err := dsp.NewBandPass(center, sampleRate, q)
+		if err != nil {
+			return nil, fmt.Errorf("attack: %w", err)
+		}
+		sub := bp.Process(commandAudio)
+		// Noise carrier in the same band.
+		noise := make([]float64, len(commandAudio))
+		for i := range noise {
+			noise[i] = a.rng.NormFloat64()
+		}
+		bp2, err := dsp.NewBandPass(center, sampleRate, q)
+		if err != nil {
+			return nil, fmt.Errorf("attack: %w", err)
+		}
+		carrier := bp2.Process(noise)
+		carrierRMS := dsp.RMS(carrier)
+		if carrierRMS == 0 {
+			continue
+		}
+		// Modulate the carrier with the subband envelope.
+		for start := 0; start < len(sub); start += frame {
+			end := start + frame
+			if end > len(sub) {
+				end = len(sub)
+			}
+			env := dsp.RMS(sub[start:end])
+			g := env / carrierRMS
+			for i := start; i < end; i++ {
+				out[i] += carrier[i] * g
+			}
+		}
+	}
+	rendered, err := a.Loudspeaker.Render(out)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return rendered, nil
+}
+
+// EstimateF0 estimates the fundamental frequency of a voiced signal by
+// normalized autocorrelation over the plausible speech range (60-400 Hz).
+// It returns false when no clear periodicity exists.
+func EstimateF0(x []float64, sampleRate float64) (float64, bool) {
+	if len(x) < int(sampleRate/60)*3 {
+		return 0, false
+	}
+	// Use a strongly voiced window: the highest-energy 4096 samples.
+	window := 4096
+	if window > len(x) {
+		window = len(x)
+	}
+	bestStart, bestEnergy := 0, -1.0
+	for start := 0; start+window <= len(x); start += window / 2 {
+		e := dsp.Energy(x[start : start+window])
+		if e > bestEnergy {
+			bestEnergy, bestStart = e, start
+		}
+	}
+	seg := x[bestStart : bestStart+window]
+	minLag := int(sampleRate / 400)
+	maxLag := int(sampleRate / 60)
+	if maxLag >= len(seg)/2 {
+		maxLag = len(seg)/2 - 1
+	}
+	energy := dsp.Energy(seg)
+	if energy == 0 {
+		return 0, false
+	}
+	bestLag, bestCorr := 0, 0.0
+	for lag := minLag; lag <= maxLag; lag++ {
+		sum := 0.0
+		for i := 0; i+lag < len(seg); i++ {
+			sum += seg[i] * seg[i+lag]
+		}
+		norm := sum / energy
+		if norm > bestCorr {
+			bestCorr, bestLag = norm, lag
+		}
+	}
+	if bestLag == 0 || bestCorr < 0.2 {
+		return 0, false
+	}
+	return sampleRate / float64(bestLag), true
+}
+
+// Bandwidth returns the frequency below which the given fraction of the
+// signal's spectral energy lies, a measure of how wide-band an attack
+// sound is (hidden voice commands span ~0-6 kHz).
+func Bandwidth(x []float64, sampleRate, fraction float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	spec := dsp.PowerSpectrum(x)
+	total := 0.0
+	for _, v := range spec[1:] {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	cum := 0.0
+	for k := 1; k < len(spec); k++ {
+		cum += spec[k]
+		if cum >= fraction*total {
+			return dsp.BinFrequency(k, len(x), sampleRate)
+		}
+	}
+	return sampleRate / 2
+}

@@ -1,0 +1,187 @@
+package brnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// lstmCell is one unidirectional LSTM layer. Gate order in the stacked
+// weight matrices is input, forget, candidate, output.
+type lstmCell struct {
+	inputDim, hiddenDim int
+	// wx is (4H x D), wh is (4H x H), b is (4H).
+	wx, wh *Matrix
+	b      []float64
+}
+
+func newLSTMCell(inputDim, hiddenDim int, rng *rand.Rand) *lstmCell {
+	c := &lstmCell{
+		inputDim:  inputDim,
+		hiddenDim: hiddenDim,
+		wx:        NewMatrixRandom(4*hiddenDim, inputDim, rng),
+		wh:        NewMatrixRandom(4*hiddenDim, hiddenDim, rng),
+		b:         make([]float64, 4*hiddenDim),
+	}
+	// Forget-gate bias starts at 1 so memory persists early in training.
+	for i := hiddenDim; i < 2*hiddenDim; i++ {
+		c.b[i] = 1
+	}
+	return c
+}
+
+// lstmTrace stores per-timestep activations needed for BPTT.
+type lstmTrace struct {
+	// inputs[t] is the input vector at t (not owned).
+	inputs [][]float64
+	// gates[t] holds i, f, g, o concatenated (4H) after nonlinearity.
+	gates [][]float64
+	// cells[t] and hidden[t] are c_t and h_t (H each).
+	cells, hidden [][]float64
+	// tanhC[t] is tanh(c_t), cached for the backward pass.
+	tanhC [][]float64
+}
+
+// forward runs the cell over a sequence, returning hidden states and a
+// trace for BPTT (nil trace members when train is false is unnecessary —
+// the trace is cheap relative to the gradients, so it is always kept).
+func (c *lstmCell) forward(inputs [][]float64) (*lstmTrace, error) {
+	T := len(inputs)
+	tr := &lstmTrace{
+		inputs: inputs,
+		gates:  make([][]float64, T),
+		cells:  make([][]float64, T),
+		hidden: make([][]float64, T),
+		tanhC:  make([][]float64, T),
+	}
+	H := c.hiddenDim
+	prevH := make([]float64, H)
+	prevC := make([]float64, H)
+	zx := make([]float64, 4*H)
+	zh := make([]float64, 4*H)
+	for t := 0; t < T; t++ {
+		if len(inputs[t]) != c.inputDim {
+			return nil, fmt.Errorf("brnn: input %d has dim %d, want %d", t, len(inputs[t]), c.inputDim)
+		}
+		if err := c.wx.MulVec(inputs[t], zx); err != nil {
+			return nil, err
+		}
+		if err := c.wh.MulVec(prevH, zh); err != nil {
+			return nil, err
+		}
+		gates := make([]float64, 4*H)
+		cell := make([]float64, H)
+		hid := make([]float64, H)
+		tc := make([]float64, H)
+		for j := 0; j < H; j++ {
+			zi := zx[j] + zh[j] + c.b[j]
+			zf := zx[H+j] + zh[H+j] + c.b[H+j]
+			zg := zx[2*H+j] + zh[2*H+j] + c.b[2*H+j]
+			zo := zx[3*H+j] + zh[3*H+j] + c.b[3*H+j]
+			i := sigmoid(zi)
+			f := sigmoid(zf)
+			g := math.Tanh(zg)
+			o := sigmoid(zo)
+			gates[j], gates[H+j], gates[2*H+j], gates[3*H+j] = i, f, g, o
+			cell[j] = f*prevC[j] + i*g
+			tc[j] = math.Tanh(cell[j])
+			hid[j] = o * tc[j]
+		}
+		tr.gates[t] = gates
+		tr.cells[t] = cell
+		tr.hidden[t] = hid
+		tr.tanhC[t] = tc
+		prevH, prevC = hid, cell
+	}
+	return tr, nil
+}
+
+// lstmGrads accumulates parameter gradients for one cell.
+type lstmGrads struct {
+	wx, wh *Matrix
+	b      []float64
+}
+
+func newLSTMGrads(c *lstmCell) *lstmGrads {
+	return &lstmGrads{
+		wx: NewMatrix(c.wx.Rows, c.wx.Cols),
+		wh: NewMatrix(c.wh.Rows, c.wh.Cols),
+		b:  make([]float64, len(c.b)),
+	}
+}
+
+// backward propagates per-timestep hidden-state gradients dH through the
+// trace, accumulating parameter gradients into g and returning the
+// gradients with respect to the inputs.
+func (c *lstmCell) backward(tr *lstmTrace, dH [][]float64, g *lstmGrads) ([][]float64, error) {
+	T := len(tr.hidden)
+	if len(dH) != T {
+		return nil, fmt.Errorf("brnn: dH length %d, want %d", len(dH), T)
+	}
+	H := c.hiddenDim
+	dInputs := make([][]float64, T)
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	dz := make([]float64, 4*H)
+	tmpH := make([]float64, H)
+	tmpX := make([]float64, c.inputDim)
+	for t := T - 1; t >= 0; t-- {
+		var prevC, prevH []float64
+		if t > 0 {
+			prevC = tr.cells[t-1]
+			prevH = tr.hidden[t-1]
+		} else {
+			prevC = make([]float64, H)
+			prevH = make([]float64, H)
+		}
+		gates := tr.gates[t]
+		for j := 0; j < H; j++ {
+			dh := dH[t][j] + dhNext[j]
+			i, f, gg, o := gates[j], gates[H+j], gates[2*H+j], gates[3*H+j]
+			tc := tr.tanhC[t][j]
+			dc := dh*o*(1-tc*tc) + dcNext[j]
+			dz[j] = dc * gg * i * (1 - i)         // input gate pre-activation
+			dz[H+j] = dc * prevC[j] * f * (1 - f) // forget gate
+			dz[2*H+j] = dc * i * (1 - gg*gg)      // candidate
+			dz[3*H+j] = dh * tc * o * (1 - o)     // output gate
+			dcNext[j] = dc * f
+		}
+		if err := g.wx.AddOuterScaled(dz, tr.inputs[t], 1); err != nil {
+			return nil, err
+		}
+		if err := g.wh.AddOuterScaled(dz, prevH, 1); err != nil {
+			return nil, err
+		}
+		for j := range dz {
+			g.b[j] += dz[j]
+		}
+		if err := c.wh.MulVecTransposed(dz, tmpH); err != nil {
+			return nil, err
+		}
+		copy(dhNext, tmpH)
+		if err := c.wx.MulVecTransposed(dz, tmpX); err != nil {
+			return nil, err
+		}
+		din := make([]float64, c.inputDim)
+		copy(din, tmpX)
+		dInputs[t] = din
+	}
+	return dInputs, nil
+}
+
+// params returns the cell's parameter slices for the optimizer.
+func (c *lstmCell) params() [][]float64 {
+	return [][]float64{c.wx.Data, c.wh.Data, c.b}
+}
+
+func (g *lstmGrads) slices() [][]float64 {
+	return [][]float64{g.wx.Data, g.wh.Data, g.b}
+}
+
+func (g *lstmGrads) zero() {
+	g.wx.Zero()
+	g.wh.Zero()
+	for i := range g.b {
+		g.b[i] = 0
+	}
+}

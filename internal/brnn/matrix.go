@@ -1,0 +1,118 @@
+// Package brnn implements the paper's phoneme-detection model from
+// scratch: a bidirectional LSTM (Section V-B, 64 units per direction,
+// combined by summation) with a dense softmax head, trained with BPTT and
+// the Adam optimizer. Only the standard library is used.
+package brnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixRandom allocates a matrix with Xavier/Glorot-scaled random
+// entries drawn from rng.
+func NewMatrixRandom(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	scale := math.Sqrt(2.0 / float64(rows+cols))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears all entries in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes m · x for a vector x of length Cols into out (length
+// Rows). out is overwritten.
+func (m *Matrix) MulVec(x, out []float64) error {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		return fmt.Errorf("brnn: mulvec shape mismatch: (%dx%d)·%d -> %d", m.Rows, m.Cols, len(x), len(out))
+	}
+	for r := 0; r < m.Rows; r++ {
+		sum := 0.0
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, w := range row {
+			sum += w * x[c]
+		}
+		out[r] = sum
+	}
+	return nil
+}
+
+// AddOuterScaled accumulates m += scale * a·bᵀ where len(a)==Rows and
+// len(b)==Cols. Used for weight-gradient accumulation.
+func (m *Matrix) AddOuterScaled(a, b []float64, scale float64) error {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		return fmt.Errorf("brnn: outer shape mismatch: %dx%d vs (%dx%d)", len(a), len(b), m.Rows, m.Cols)
+	}
+	for r, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		f := av * scale
+		for c, bv := range b {
+			row[c] += f * bv
+		}
+	}
+	return nil
+}
+
+// MulVecTransposed computes mᵀ · x for a vector x of length Rows into out
+// (length Cols). Used to backpropagate through a matrix multiply.
+func (m *Matrix) MulVecTransposed(x, out []float64) error {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		return fmt.Errorf("brnn: mulvecT shape mismatch: (%dx%d)ᵀ·%d -> %d", m.Rows, m.Cols, len(x), len(out))
+	}
+	for c := range out {
+		out[c] = 0
+	}
+	for r, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, w := range row {
+			out[c] += w * xv
+		}
+	}
+	return nil
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

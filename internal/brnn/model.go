@@ -1,0 +1,199 @@
+package brnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is the paper's bidirectional phoneme detector: a forward LSTM and
+// a backward LSTM over the MFCC sequence whose hidden states are summed
+// per frame (Eq. 4) and classified by a dense softmax layer with
+// NumClasses outputs (2 for effective-phoneme detection).
+type Model struct {
+	inputDim, hiddenDim, numClasses int
+
+	fwd, bwd *lstmCell
+	// dense is (numClasses x hiddenDim); denseBias is (numClasses).
+	dense     *Matrix
+	denseBias []float64
+}
+
+// Config describes the model architecture.
+type Config struct {
+	// InputDim is the per-frame feature dimension (14 MFCCs).
+	InputDim int
+	// HiddenDim is the LSTM width per direction (64 in the paper).
+	HiddenDim int
+	// NumClasses is the softmax width (2 for binary detection).
+	NumClasses int
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's architecture for 14-dimensional MFCC
+// inputs.
+func DefaultConfig() Config {
+	return Config{InputDim: 14, HiddenDim: 64, NumClasses: 2, Seed: 1}
+}
+
+// Validate checks the architecture parameters.
+func (c *Config) Validate() error {
+	if c.InputDim <= 0 || c.HiddenDim <= 0 || c.NumClasses < 2 {
+		return fmt.Errorf("brnn: invalid architecture %+v", *c)
+	}
+	return nil
+}
+
+// New creates a randomly initialized model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Model{
+		inputDim:   cfg.InputDim,
+		hiddenDim:  cfg.HiddenDim,
+		numClasses: cfg.NumClasses,
+		fwd:        newLSTMCell(cfg.InputDim, cfg.HiddenDim, rng),
+		bwd:        newLSTMCell(cfg.InputDim, cfg.HiddenDim, rng),
+		dense:      NewMatrixRandom(cfg.NumClasses, cfg.HiddenDim, rng),
+		denseBias:  make([]float64, cfg.NumClasses),
+	}, nil
+}
+
+// InputDim returns the expected per-frame feature dimension.
+func (m *Model) InputDim() int { return m.inputDim }
+
+// HiddenDim returns the LSTM width per direction.
+func (m *Model) HiddenDim() int { return m.hiddenDim }
+
+// NumClasses returns the softmax width.
+func (m *Model) NumClasses() int { return m.numClasses }
+
+// reverse returns a reversed copy of a sequence (shallow: frame slices are
+// shared).
+func reverse(seq [][]float64) [][]float64 {
+	out := make([][]float64, len(seq))
+	for i, v := range seq {
+		out[len(seq)-1-i] = v
+	}
+	return out
+}
+
+// Forward computes per-frame class probabilities for an input sequence.
+func (m *Model) Forward(inputs [][]float64) ([][]float64, error) {
+	probs, _, _, err := m.forwardFull(inputs)
+	return probs, err
+}
+
+func (m *Model) forwardFull(inputs [][]float64) ([][]float64, *lstmTrace, *lstmTrace, error) {
+	if len(inputs) == 0 {
+		return nil, nil, nil, nil
+	}
+	fwdTr, err := m.fwd.forward(inputs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bwdTr, err := m.bwd.forward(reverse(inputs))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	T := len(inputs)
+	probs := make([][]float64, T)
+	combined := make([]float64, m.hiddenDim)
+	logits := make([]float64, m.numClasses)
+	for t := 0; t < T; t++ {
+		hf := fwdTr.hidden[t]
+		hb := bwdTr.hidden[T-1-t]
+		for j := 0; j < m.hiddenDim; j++ {
+			combined[j] = hf[j] + hb[j]
+		}
+		if err := m.dense.MulVec(combined, logits); err != nil {
+			return nil, nil, nil, err
+		}
+		p := make([]float64, m.numClasses)
+		maxL := math.Inf(-1)
+		for k, v := range logits {
+			if v+m.denseBias[k] > maxL {
+				maxL = v + m.denseBias[k]
+			}
+		}
+		sum := 0.0
+		for k, v := range logits {
+			p[k] = math.Exp(v + m.denseBias[k] - maxL)
+			sum += p[k]
+		}
+		for k := range p {
+			p[k] /= sum
+		}
+		probs[t] = p
+	}
+	return probs, fwdTr, bwdTr, nil
+}
+
+// Predict returns the argmax class per frame.
+func (m *Model) Predict(inputs [][]float64) ([]int, error) {
+	probs, err := m.Forward(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(probs))
+	for t, p := range probs {
+		best := 0
+		for k, v := range p {
+			if v > p[best] {
+				best = k
+			}
+		}
+		out[t] = best
+	}
+	return out, nil
+}
+
+// serializable mirrors Model for gob encoding.
+type serializable struct {
+	InputDim, HiddenDim, NumClasses int
+	FwdWx, FwdWh, BwdWx, BwdWh      []float64
+	FwdB, BwdB                      []float64
+	Dense, DenseBias                []float64
+}
+
+// MarshalBinary serializes the model weights.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	s := serializable{
+		InputDim: m.inputDim, HiddenDim: m.hiddenDim, NumClasses: m.numClasses,
+		FwdWx: m.fwd.wx.Data, FwdWh: m.fwd.wh.Data, FwdB: m.fwd.b,
+		BwdWx: m.bwd.wx.Data, BwdWh: m.bwd.wh.Data, BwdB: m.bwd.b,
+		Dense: m.dense.Data, DenseBias: m.denseBias,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		return nil, fmt.Errorf("brnn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores model weights serialized by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var s serializable
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return fmt.Errorf("brnn: decode: %w", err)
+	}
+	restored, err := New(Config{InputDim: s.InputDim, HiddenDim: s.HiddenDim, NumClasses: s.NumClasses, Seed: 1})
+	if err != nil {
+		return err
+	}
+	copy(restored.fwd.wx.Data, s.FwdWx)
+	copy(restored.fwd.wh.Data, s.FwdWh)
+	copy(restored.fwd.b, s.FwdB)
+	copy(restored.bwd.wx.Data, s.BwdWx)
+	copy(restored.bwd.wh.Data, s.BwdWh)
+	copy(restored.bwd.b, s.BwdB)
+	copy(restored.dense.Data, s.Dense)
+	copy(restored.denseBias, s.DenseBias)
+	*m = *restored
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package core assembles the paper's primary contribution: the
+// training-free thru-barrier attack defense. A Defense takes the two
+// recordings of a voice command (VA device and wearable), synchronizes
+// them with the cross-correlation of Eq. (5), segments the
+// barrier-effect-sensitive phonemes, performs cross-domain sensing on the
+// wearable, and detects attacks with the 2D-correlation threshold test of
+// Eq. (6).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+	"vibguard/internal/segment"
+	"vibguard/internal/sensing"
+	"vibguard/internal/syncnet"
+)
+
+// DefaultThreshold is the decision threshold on the 2D correlation score,
+// calibrated at the equal-error point of the evaluation datasets.
+const DefaultThreshold = 0.45
+
+// Config parameterizes the defense pipeline.
+type Config struct {
+	// Wearable is the user's smartwatch (speaker + accelerometer).
+	Wearable *device.Wearable
+	// Segmenter provides effective-phoneme spans of the VA recording.
+	Segmenter detector.Segmenter
+	// Method selects the detector (MethodFull is the paper's system; the
+	// baselines are used for ablation).
+	Method detector.Method
+	// Sensing configures vibration-domain feature extraction.
+	Sensing sensing.Config
+	// AudioFFTSize configures the audio-domain baseline.
+	AudioFFTSize int
+	// Threshold on the correlation score; lower scores are attacks.
+	Threshold float64
+	// MaxSyncLagSeconds bounds the Eq. (5) delay search.
+	MaxSyncLagSeconds float64
+	// SampleRate of the recordings in Hz.
+	SampleRate float64
+}
+
+// DefaultConfig returns the paper's configuration for the given wearable
+// and segmenter.
+func DefaultConfig(w *device.Wearable, seg detector.Segmenter) Config {
+	return Config{
+		Wearable:          w,
+		Segmenter:         seg,
+		Method:            detector.MethodFull,
+		Sensing:           sensing.DefaultConfig(),
+		AudioFFTSize:      256,
+		Threshold:         DefaultThreshold,
+		MaxSyncLagSeconds: 0.5,
+		SampleRate:        16000,
+	}
+}
+
+// Defense is the end-to-end thru-barrier attack detection pipeline.
+type Defense struct {
+	cfg Config
+	det *detector.Detector
+}
+
+// NewDefense builds the pipeline.
+func NewDefense(cfg Config) (*Defense, error) {
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("core: sample rate %v must be positive", cfg.SampleRate)
+	}
+	if cfg.MaxSyncLagSeconds < 0 {
+		return nil, fmt.Errorf("core: max sync lag %v must be non-negative", cfg.MaxSyncLagSeconds)
+	}
+	det, err := detector.New(detector.Config{
+		Method:       cfg.Method,
+		Wearable:     cfg.Wearable,
+		Segmenter:    cfg.Segmenter,
+		Sensing:      cfg.Sensing,
+		AudioFFTSize: cfg.AudioFFTSize,
+		Threshold:    cfg.Threshold,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Defense{cfg: cfg, det: det}, nil
+}
+
+// Verdict is the outcome of inspecting one voice command.
+type Verdict struct {
+	// Score is the 2D correlation similarity in [-1, 1]; legitimate
+	// commands score high.
+	Score float64
+	// Attack is true when the score falls below the threshold.
+	Attack bool
+	// SyncOffset is the estimated wearable offset in samples (Eq. 5).
+	SyncOffset int
+	// Spans are the effective-phoneme spans used (MethodFull only).
+	Spans []segment.Span
+}
+
+// Inspect runs the full pipeline on a VA recording and a raw (unaligned)
+// wearable recording and returns the verdict. The rng drives the
+// stochastic cross-domain sensing.
+func (d *Defense) Inspect(vaRec, wearRec []float64, rng *rand.Rand) (*Verdict, error) {
+	aligned, tau, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	score, err := d.det.Score(vaRec, aligned, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	v := &Verdict{
+		Score:      score,
+		Attack:     d.det.Detect(score),
+		SyncOffset: tau,
+	}
+	if d.cfg.Method == detector.MethodFull {
+		spans, err := d.cfg.Segmenter.EffectiveSpans(vaRec)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		v.Spans = spans
+	}
+	return v, nil
+}
+
+// Score runs the pipeline and returns only the similarity score; it is the
+// hot path used by the evaluation sweeps.
+func (d *Defense) Score(vaRec, wearRec []float64, rng *rand.Rand) (float64, error) {
+	aligned, _, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	score, err := d.det.Score(vaRec, aligned, rng)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return score, nil
+}
+
+// Threshold returns the configured decision threshold.
+func (d *Defense) Threshold() float64 { return d.cfg.Threshold }
+
+// Method returns the configured detection method.
+func (d *Defense) Method() detector.Method { return d.cfg.Method }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/acoustics"
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+	"vibguard/internal/phoneme"
+	"vibguard/internal/segment"
+	"vibguard/internal/selection"
+	"vibguard/internal/syncnet"
+)
+
+func TestNewDefenseValidation(t *testing.T) {
+	w := device.NewFossilGen5()
+	seg := &detector.StaticSegmenter{}
+	bad := DefaultConfig(w, seg)
+	bad.SampleRate = 0
+	if _, err := NewDefense(bad); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	bad = DefaultConfig(w, seg)
+	bad.MaxSyncLagSeconds = -1
+	if _, err := NewDefense(bad); err == nil {
+		t.Error("negative sync lag should error")
+	}
+	bad = DefaultConfig(nil, seg)
+	if _, err := NewDefense(bad); err == nil {
+		t.Error("nil wearable should error")
+	}
+	good := DefaultConfig(w, seg)
+	d, err := NewDefense(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() != DefaultThreshold {
+		t.Error("threshold mismatch")
+	}
+	if d.Method() != detector.MethodFull {
+		t.Error("method mismatch")
+	}
+}
+
+// buildScenario creates a legit and an attack recording pair with a
+// simulated network delay on the wearable side.
+func buildScenario(t *testing.T, seed int64) (spans []segment.Span, legitVA, legitWear, atkVA, atkWear []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	synth, err := phoneme.NewSynthesizer(phoneme.NewStudioVoicePool(1, seed)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(phoneme.Commands()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans = segment.OracleSpans(utt, selection.CanonicalSelected())
+	room, err := acoustics.RoomByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	transmit := func(spl, dist float64, barrier bool) []float64 {
+		p, err := room.Transmit(utt.Samples, acoustics.PathConfig{
+			SourceSPL: spl, DistanceM: dist, ThroughBarrier: barrier, SampleRate: 16000,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	legitVA = transmit(72, 1.5, false)
+	legitWear = syncnet.SimulateNetworkDelay(transmit(72, 0.3, false), 0.1, 16000, rng)
+	atkVA = transmit(80, 2.1, true)
+	atkWear = syncnet.SimulateNetworkDelay(transmit(80, 2.4, true), 0.08, 16000, rng)
+	return spans, legitVA, legitWear, atkVA, atkWear
+}
+
+func TestInspectEndToEnd(t *testing.T) {
+	spans, legitVA, legitWear, atkVA, atkWear := buildScenario(t, 5)
+	w := device.NewFossilGen5()
+	d, err := NewDefense(DefaultConfig(w, &detector.StaticSegmenter{Spans: spans}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	legit, err := d.Inspect(legitVA, legitWear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legit.Attack {
+		t.Errorf("legitimate command flagged as attack (score %v)", legit.Score)
+	}
+	// The 100ms network delay (1600 samples) must be recovered.
+	if legit.SyncOffset < 1500 || legit.SyncOffset > 1700 {
+		t.Errorf("sync offset = %d, want ~1600", legit.SyncOffset)
+	}
+	if len(legit.Spans) == 0 {
+		t.Error("verdict missing spans")
+	}
+	atk, err := d.Inspect(atkVA, atkWear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Attack {
+		t.Errorf("thru-barrier attack not flagged (score %v)", atk.Score)
+	}
+	if legit.Score <= atk.Score {
+		t.Errorf("legit score %v not above attack score %v", legit.Score, atk.Score)
+	}
+}
+
+func TestScoreMatchesInspect(t *testing.T) {
+	spans, legitVA, legitWear, _, _ := buildScenario(t, 7)
+	w := device.NewFossilGen5()
+	d, err := NewDefense(DefaultConfig(w, &detector.StaticSegmenter{Spans: spans}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := d.Score(legitVA, legitWear, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Inspect(legitVA, legitWear, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != v.Score {
+		t.Errorf("Score %v != Inspect score %v for identical rng", s1, v.Score)
+	}
+}
+
+func TestInspectEmptyRecordings(t *testing.T) {
+	w := device.NewFossilGen5()
+	d, err := NewDefense(DefaultConfig(w, &detector.StaticSegmenter{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Inspect(nil, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty recordings should error")
+	}
+}
+
+func TestDefenseWithBaselineMethods(t *testing.T) {
+	spans, legitVA, legitWear, atkVA, atkWear := buildScenario(t, 9)
+	w := device.NewFossilGen5()
+	for _, m := range []detector.Method{detector.MethodAudio, detector.MethodVibration} {
+		cfg := DefaultConfig(w, &detector.StaticSegmenter{Spans: spans})
+		cfg.Method = m
+		d, err := NewDefense(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		legit, err := d.Score(legitVA, legitWear, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atk, err := d.Score(atkVA, atkWear, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legit <= atk {
+			t.Errorf("%v: legit %v not above attack %v", m, legit, atk)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/dsp"
+)
+
+func TestMicrophoneValidate(t *testing.T) {
+	m := NewMicrophone(16000)
+	if err := m.Validate(); err != nil {
+		t.Errorf("default mic invalid: %v", err)
+	}
+	bad := m
+	bad.SampleRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rate should error")
+	}
+	bad = m
+	bad.Gain = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero gain should error")
+	}
+	bad = m
+	bad.HighCutHz = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted band should error")
+	}
+	bad = m
+	bad.HighCutHz = 9000
+	if err := bad.Validate(); err == nil {
+		t.Error("band above Nyquist should error")
+	}
+}
+
+func TestMicrophoneRecordBandLimits(t *testing.T) {
+	m := NewMicrophone(16000)
+	m.NoiseFloorSPL = 0 // suppress noise for spectral measurement
+	rng := rand.New(rand.NewSource(1))
+	inBand := dsp.Tone(1000, 0.1, 0.5, 16000)
+	subsonic := dsp.Tone(10, 0.1, 0.5, 16000)
+	recIn, err := m.Record(inBand, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSub, err := m.Record(subsonic, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.RMS(recSub) > dsp.RMS(recIn)*0.3 {
+		t.Errorf("subsonic content not attenuated: %v vs %v", dsp.RMS(recSub), dsp.RMS(recIn))
+	}
+}
+
+func TestMicrophoneGainAndNoise(t *testing.T) {
+	m := NewMicrophone(16000)
+	m.Gain = 2
+	m.NoiseFloorSPL = 0
+	rng := rand.New(rand.NewSource(2))
+	x := dsp.Tone(1000, 0.1, 0.2, 16000)
+	rec, err := m.Record(x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := dsp.RMS(rec) / dsp.RMS(x)
+	if math.Abs(ratio-2) > 0.1 {
+		t.Errorf("gain ratio = %v, want ~2", ratio)
+	}
+	// Noise floor: silence should record as noise at the floor SPL.
+	m.NoiseFloorSPL = 40
+	silent := make([]float64, 16000)
+	rec, err = m.Record(silent, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spl := dsp.AmplitudeToSPL(dsp.RMS(rec))
+	if math.Abs(spl-40) > 1.5 {
+		t.Errorf("noise floor recorded at %v dB SPL, want ~40", spl)
+	}
+}
+
+func TestLoudspeakerValidate(t *testing.T) {
+	s := NewLoudspeaker(16000)
+	if err := s.Validate(); err != nil {
+		t.Errorf("default speaker invalid: %v", err)
+	}
+	bad := s
+	bad.Distortion = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("excessive distortion should error")
+	}
+	bad = s
+	bad.SampleRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestLoudspeakerBandLimits(t *testing.T) {
+	s := NewLoudspeaker(16000)
+	deep := dsp.Tone(30, 0.5, 0.3, 16000)
+	mid := dsp.Tone(1000, 0.5, 0.3, 16000)
+	outDeep, err := s.Render(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outMid, err := s.Render(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.RMS(outDeep) > dsp.RMS(outMid)*0.2 {
+		t.Errorf("30Hz should be nearly inaudible from a small speaker: %v vs %v",
+			dsp.RMS(outDeep), dsp.RMS(outMid))
+	}
+}
+
+func TestLoudspeakerDistortionAddsHarmonics(t *testing.T) {
+	s := NewLoudspeaker(16000)
+	s.Distortion = 0.2
+	x := dsp.Tone(500, 0.5, 0.5, 16000)
+	out, err := s.Render(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dsp.MagnitudeSpectrum(out)
+	fund := spec[dsp.FrequencyBin(500, len(out), 16000)]
+	third := spec[dsp.FrequencyBin(1500, len(out), 16000)]
+	if third < fund*0.01 {
+		t.Errorf("cubic distortion should create a 3rd harmonic: fund %v, 3rd %v", fund, third)
+	}
+	// Ideal speaker: no harmonic.
+	s.Distortion = 0
+	out, err = s.Render(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = dsp.MagnitudeSpectrum(out)
+	third = spec[dsp.FrequencyBin(1500, len(out), 16000)]
+	fund = spec[dsp.FrequencyBin(500, len(out), 16000)]
+	if third > fund*0.01 {
+		t.Errorf("ideal speaker created harmonics: fund %v, 3rd %v", fund, third)
+	}
+}
+
+func TestLoudspeakerSilence(t *testing.T) {
+	s := NewLoudspeaker(16000)
+	out, err := s.Render(make([]float64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.MaxAbs(out) != 0 {
+		t.Error("silence should render as silence")
+	}
+}

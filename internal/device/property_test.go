@@ -1,0 +1,125 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vibguard/internal/dsp"
+)
+
+// Property: the accelerometer capture is always finite and has the
+// expected length for any bounded input.
+func TestCaptureFiniteProperty(t *testing.T) {
+	a := NewAccelerometer()
+	f := func(raw []float64, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 4000 {
+			raw = raw[:4000]
+		}
+		audio := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			audio[i] = math.Mod(v, 10)
+		}
+		vib, err := a.Capture(audio, 16000, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		wantLen := len(audio) / 80
+		if wantLen == 0 {
+			wantLen = 1
+		}
+		if len(vib) != wantLen && len(vib) != wantLen+1 {
+			return false
+		}
+		for _, v := range vib {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: wake score is monotone in recording loudness for speech-like
+// input (louder recording relative to a fixed noise floor gives a higher
+// score).
+func TestWakeScoreMonotoneInLevel(t *testing.T) {
+	d := NewGoogleHome()
+	rng := rand.New(rand.NewSource(4))
+	// Build a speech-like signal: bursts of tone separated by silence.
+	burst := dsp.Tone(800, 1, 0.12, 16000)
+	gap := make([]float64, 2400)
+	speech := dsp.Concat(gap, burst, gap, burst, gap, burst, gap)
+	noise := make([]float64, len(speech))
+	for i := range noise {
+		noise[i] = 1e-3 * rng.NormFloat64()
+	}
+	prev := math.Inf(-1)
+	for _, gain := range []float64{0.002, 0.01, 0.05, 0.25} {
+		rec := dsp.Mix(dsp.Scale(speech, gain), noise)
+		score := d.WakeScore(rec)
+		if score < prev {
+			t.Fatalf("wake score not monotone: gain %v score %v < prev %v", gain, score, prev)
+		}
+		prev = score
+	}
+}
+
+// Property: TryWake success frequency increases with score.
+func TestTryWakeProbabilityOrdering(t *testing.T) {
+	d := NewGoogleHome()
+	trials := 400
+	countWakes := func(rec []float64, seed int64) int {
+		rng := rand.New(rand.NewSource(seed))
+		n := 0
+		for i := 0; i < trials; i++ {
+			if d.TryWake(rec, rng) {
+				n++
+			}
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(9))
+	burst := dsp.Tone(800, 0.3, 0.12, 16000)
+	gap := make([]float64, 2400)
+	speech := dsp.Concat(gap, burst, gap, burst, gap)
+	noise := make([]float64, len(speech))
+	for i := range noise {
+		noise[i] = 2e-3 * rng.NormFloat64()
+	}
+	strong := dsp.Mix(speech, noise)
+	weak := dsp.Mix(dsp.Scale(speech, 0.01), noise)
+	if countWakes(strong, 1) <= countWakes(weak, 2) {
+		t.Error("stronger recording should wake more often")
+	}
+}
+
+// Failure injection: a wearable with an invalid component must refuse to
+// sense rather than produce garbage.
+func TestWearableInvalidComponentRejected(t *testing.T) {
+	w := NewFossilGen5()
+	w.Accel.SampleRate = 0
+	if _, err := w.SenseVibration(dsp.Tone(500, 0.1, 0.5, 16000), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid accelerometer should error")
+	}
+	w = NewFossilGen5()
+	w.Speaker.HighCutHz = 1 // below low cut
+	if _, err := w.SenseVibration(dsp.Tone(500, 0.1, 0.5, 16000), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid speaker should error")
+	}
+	w = NewFossilGen5()
+	w.Mic.Gain = -1
+	if _, err := w.Record(dsp.Tone(500, 0.1, 0.5, 16000), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid mic should error")
+	}
+}

@@ -1,0 +1,129 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vibguard/internal/dsp"
+)
+
+// VADevice models a voice-assistant device: a microphone profile and a
+// wake-word recognizer whose sensitivity differs per product. Smart
+// speakers use far-field microphone arrays and trigger easily; phones use
+// close-talking microphones and need much stronger input (Table I).
+type VADevice struct {
+	// Name is the product name.
+	Name string
+	// Mic is the device microphone.
+	Mic Microphone
+	// WakeThresholdDB is the in-band SNR (dB) at which wake-word
+	// recognition succeeds 50% of the time.
+	WakeThresholdDB float64
+	// WakeSlopeDB controls how sharply success probability rises with
+	// SNR around the threshold.
+	WakeSlopeDB float64
+	// SpeakerVerification is true for devices (Siri) that reject voices
+	// not enrolled by the owner, so random and synthesis attacks do not
+	// trigger them at all (Table I's "-" cells).
+	SpeakerVerification bool
+}
+
+// VA device profiles from the Table I study. Thresholds are calibrated so
+// the simulated attack study reproduces the table's ordering: Google Home
+// is the most susceptible, then Alexa Echo, then MacBook Pro, with iPhone
+// the hardest to trigger.
+func NewGoogleHome() *VADevice {
+	d := &VADevice{Name: "Google Home", Mic: NewMicrophone(16000), WakeThresholdDB: 10, WakeSlopeDB: 3}
+	d.Mic.Gain = 1.6 // far-field array
+	return d
+}
+
+// NewAlexaEcho returns the Amazon Echo profile.
+func NewAlexaEcho() *VADevice {
+	d := &VADevice{Name: "Alexa Echo", Mic: NewMicrophone(16000), WakeThresholdDB: 14, WakeSlopeDB: 3}
+	d.Mic.Gain = 1.5
+	return d
+}
+
+// NewMacBookPro returns the MacBook Pro profile (Hey Siri, with speaker
+// verification).
+func NewMacBookPro() *VADevice {
+	d := &VADevice{Name: "MacBook Pro", Mic: NewMicrophone(16000), WakeThresholdDB: 18, WakeSlopeDB: 3, SpeakerVerification: true}
+	d.Mic.Gain = 1.1
+	return d
+}
+
+// NewIPhone returns the iPhone profile (Hey Siri, close-talking mic,
+// speaker verification).
+func NewIPhone() *VADevice {
+	d := &VADevice{Name: "iPhone", Mic: NewMicrophone(16000), WakeThresholdDB: 26, WakeSlopeDB: 2.5, SpeakerVerification: true}
+	d.Mic.Gain = 0.8
+	return d
+}
+
+// AllVADevices returns the four devices of the Table I study in table
+// order.
+func AllVADevices() []*VADevice {
+	return []*VADevice{NewGoogleHome(), NewAlexaEcho(), NewMacBookPro(), NewIPhone()}
+}
+
+// Validate checks device parameters.
+func (d *VADevice) Validate() error {
+	if err := d.Mic.Validate(); err != nil {
+		return fmt.Errorf("va %s: %w", d.Name, err)
+	}
+	if d.WakeSlopeDB <= 0 {
+		return fmt.Errorf("va %s: wake slope %v must be positive", d.Name, d.WakeSlopeDB)
+	}
+	return nil
+}
+
+// Record captures a voice command with the VA device's microphone.
+func (d *VADevice) Record(pressure []float64, rng *rand.Rand) ([]float64, error) {
+	rec, err := d.Mic.Record(pressure, rng)
+	if err != nil {
+		return nil, fmt.Errorf("va %s: %w", d.Name, err)
+	}
+	return rec, nil
+}
+
+// WakeScore estimates the in-band SNR (dB) of a recording: frame energy of
+// the loudest frames versus the quietest frames in the 100-3000 Hz speech
+// band. It is the input to the wake-word success model.
+func (d *VADevice) WakeScore(recording []float64) float64 {
+	frame := int(0.01 * d.Mic.SampleRate) // 10 ms frames
+	if frame < 16 || len(recording) < 8*frame {
+		return -60
+	}
+	band, err := dsp.NewBandPass(800, d.Mic.SampleRate, 0.5)
+	if err != nil {
+		return -60
+	}
+	filtered := band.Process(recording)
+	energies := make([]float64, 0, len(filtered)/frame)
+	for start := 0; start+frame <= len(filtered); start += frame {
+		energies = append(energies, dsp.Energy(filtered[start:start+frame]))
+	}
+	if len(energies) < 8 {
+		return -60
+	}
+	// The quietest frames estimate the noise floor (stop closures and
+	// inter-word pauses); the loudest sustained frames estimate speech.
+	signal := dsp.Percentile(energies, 0.8)
+	noise := dsp.Percentile(energies, 0.05)
+	if noise <= 0 {
+		noise = 1e-12
+	}
+	return 10 * math.Log10(signal/noise)
+}
+
+// TryWake performs one wake-word attempt on a recording, returning whether
+// the device triggered. Success is stochastic with probability given by a
+// logistic curve over the wake score, matching the per-attempt variability
+// of the Table I study.
+func (d *VADevice) TryWake(recording []float64, rng *rand.Rand) bool {
+	score := d.WakeScore(recording)
+	p := 1 / (1 + math.Exp(-(score-d.WakeThresholdDB)/d.WakeSlopeDB))
+	return rng.Float64() < p
+}

@@ -1,0 +1,166 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/acoustics"
+	"vibguard/internal/dsp"
+	"vibguard/internal/phoneme"
+)
+
+func TestWearableProfiles(t *testing.T) {
+	for _, w := range []*Wearable{NewFossilGen5(), NewMoto360()} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if NewFossilGen5().Name == NewMoto360().Name {
+		t.Error("wearables share a name")
+	}
+}
+
+func TestWearableSenseVibration(t *testing.T) {
+	w := NewFossilGen5()
+	rng := rand.New(rand.NewSource(1))
+	audio := dsp.Mix(dsp.Tone(300, 0.1, 1.0, 16000), dsp.Tone(2000, 0.1, 1.0, 16000))
+	vib, err := w.SenseVibration(audio, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vib) < 150 || len(vib) > 250 {
+		t.Errorf("vibration length = %d, want ~200 for 1s", len(vib))
+	}
+	if dsp.RMS(vib) == 0 {
+		t.Error("silent vibration")
+	}
+}
+
+func TestWearableRecord(t *testing.T) {
+	w := NewFossilGen5()
+	rng := rand.New(rand.NewSource(2))
+	rec, err := w.Record(dsp.Tone(500, 0.05, 0.5, 16000), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 8000 {
+		t.Errorf("recording length = %d", len(rec))
+	}
+}
+
+func TestVADeviceProfiles(t *testing.T) {
+	devices := AllVADevices()
+	if len(devices) != 4 {
+		t.Fatalf("devices = %d, want 4", len(devices))
+	}
+	for _, d := range devices {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	// Susceptibility ordering: thresholds must rise Google Home -> iPhone.
+	for i := 1; i < len(devices); i++ {
+		if devices[i].WakeThresholdDB <= devices[i-1].WakeThresholdDB {
+			t.Errorf("threshold ordering broken: %s (%v) <= %s (%v)",
+				devices[i].Name, devices[i].WakeThresholdDB,
+				devices[i-1].Name, devices[i-1].WakeThresholdDB)
+		}
+	}
+	// Only the Siri devices enforce speaker verification.
+	if devices[0].SpeakerVerification || devices[1].SpeakerVerification {
+		t.Error("smart speakers should not have speaker verification")
+	}
+	if !devices[2].SpeakerVerification || !devices[3].SpeakerVerification {
+		t.Error("Siri devices should have speaker verification")
+	}
+}
+
+func TestWakeScoreOrdering(t *testing.T) {
+	d := NewGoogleHome()
+	rng := rand.New(rand.NewSource(3))
+	// Build a loud recording and a barely-audible one.
+	synth, err := phoneme.NewSynthesizer(phoneme.NewVoicePool(1, 7)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(phoneme.WakeWords()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	room, err := acoustics.RoomByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loudP, err := room.Transmit(utt.Samples, acoustics.PathConfig{SourceSPL: 80, DistanceM: 1, SampleRate: 16000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietP, err := room.Transmit(utt.Samples, acoustics.PathConfig{SourceSPL: 40, DistanceM: 5, ThroughBarrier: true, SampleRate: 16000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loudRec, err := d.Record(loudP, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietRec, err := d.Record(quietP, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WakeScore(loudRec) <= d.WakeScore(quietRec) {
+		t.Errorf("loud score %v not above quiet score %v",
+			d.WakeScore(loudRec), d.WakeScore(quietRec))
+	}
+}
+
+func TestWakeScoreShortRecording(t *testing.T) {
+	d := NewGoogleHome()
+	if s := d.WakeScore(make([]float64, 100)); s != -60 {
+		t.Errorf("short recording score = %v, want -60", s)
+	}
+}
+
+func TestTryWakeExtremes(t *testing.T) {
+	d := NewGoogleHome()
+	rng := rand.New(rand.NewSource(4))
+	// A very loud clean command should almost always trigger; silence never.
+	synth, err := phoneme.NewSynthesizer(phoneme.NewVoicePool(1, 7)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(phoneme.WakeWords()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	loud, err := dsp.NormalizeRMS(utt.Samples, dsp.SPLToAmplitude(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := d.Record(loud, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wakes := 0
+	for i := 0; i < 20; i++ {
+		if d.TryWake(rec, rng) {
+			wakes++
+		}
+	}
+	if wakes < 18 {
+		t.Errorf("loud command woke %d/20, want >= 18", wakes)
+	}
+	silence := make([]float64, 16000)
+	recSilent, err := d.Record(silence, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wakes = 0
+	for i := 0; i < 20; i++ {
+		if d.TryWake(recSilent, rng) {
+			wakes++
+		}
+	}
+	if wakes > 2 {
+		t.Errorf("silence woke %d/20, want <= 2", wakes)
+	}
+}

@@ -1,0 +1,241 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// CrossCorrelate computes the raw cross-correlation Corr(tau) =
+// sum_n a[n]*b[n+tau] for tau in [0, maxLag], as used by the cross-device
+// synchronization of Eq. (5): a is the VA recording, b the wearable
+// recording, and the argmax lag estimates how many samples of b precede the
+// content of a.
+func CrossCorrelate(a, b []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	out := make([]float64, maxLag+1)
+	for tau := 0; tau <= maxLag; tau++ {
+		sum := 0.0
+		for n := 0; n+tau < len(b) && n < len(a); n++ {
+			sum += a[n] * b[n+tau]
+		}
+		out[tau] = sum
+	}
+	return out
+}
+
+// EstimateDelay returns the lag in [0, maxLag] that maximizes the
+// cross-correlation of a and b (Eq. 5). Ties resolve to the smallest lag.
+func EstimateDelay(a, b []float64, maxLag int) int {
+	corr := CrossCorrelate(a, b, maxLag)
+	best, bestVal := 0, math.Inf(-1)
+	for tau, v := range corr {
+		if v > bestVal {
+			best, bestVal = tau, v
+		}
+	}
+	return best
+}
+
+// EstimateDelayRange returns the lag in [loLag, hiLag] maximizing the
+// cross-correlation of a and b. Ties resolve to the smallest lag.
+func EstimateDelayRange(a, b []float64, loLag, hiLag int) int {
+	if loLag < 0 {
+		loLag = 0
+	}
+	if hiLag < loLag {
+		hiLag = loLag
+	}
+	best, bestVal := loLag, math.Inf(-1)
+	for tau := loLag; tau <= hiLag; tau++ {
+		sum := 0.0
+		for n := 0; n+tau < len(b) && n < len(a); n++ {
+			sum += a[n] * b[n+tau]
+		}
+		if sum > bestVal {
+			best, bestVal = tau, sum
+		}
+	}
+	return best
+}
+
+// EstimateDelayFast estimates the delay like EstimateDelay but with a
+// coarse-to-fine search: a decimated pass locates the neighborhood and a
+// full-rate pass refines it. It trades a tiny accuracy risk (pathological
+// narrowband signals) for a ~factor^2 speedup on long recordings.
+func EstimateDelayFast(a, b []float64, maxLag int) int {
+	const factor = 16
+	if maxLag < 4*factor || len(a) < 4*factor || len(b) < 4*factor {
+		return EstimateDelay(a, b, maxLag)
+	}
+	// Box-filter before decimating so off-grid shifts still correlate in
+	// the coarse pass.
+	da, err := DecimateSampleHold(boxFilter(a, factor), factor)
+	if err != nil {
+		return EstimateDelay(a, b, maxLag)
+	}
+	db, err := DecimateSampleHold(boxFilter(b, factor), factor)
+	if err != nil {
+		return EstimateDelay(a, b, maxLag)
+	}
+	coarse := EstimateDelay(da, db, maxLag/factor)
+	// The coarse pass matches envelopes, whose correlation peaks are broad
+	// (tens of ms for speech); refine over a window wide enough to recover
+	// the exact peak even when the envelope estimate sits a pitch period
+	// or two away.
+	lo := coarse*factor - 24*factor
+	hi := coarse*factor + 24*factor
+	if hi > maxLag {
+		hi = maxLag
+	}
+	return EstimateDelayRange(a, b, lo, hi)
+}
+
+// boxFilter applies a running mean of the given width.
+func boxFilter(x []float64, width int) []float64 {
+	if width <= 1 || len(x) == 0 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, len(x))
+	sum := 0.0
+	for i, v := range x {
+		sum += v
+		if i >= width {
+			sum -= x[i-width]
+		}
+		n := width
+		if i+1 < width {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// vectors. It returns 0 when either vector has zero variance or the lengths
+// differ.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	meanA, meanB := Mean(a), Mean(b)
+	var num, varA, varB float64
+	for i := range a {
+		da, db := a[i]-meanA, b[i]-meanB
+		num += da * db
+		varA += da * da
+		varB += db * db
+	}
+	den := math.Sqrt(varA * varB)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Correlate2D computes the 2D correlation coefficient of Eq. (6) between
+// two spectrograms: the Pearson correlation over all (time, frequency)
+// cells. The spectrograms are compared over their overlapping region so
+// that small frame-count differences (from slightly different recording
+// lengths) do not fail the comparison.
+func Correlate2D(a, b *Spectrogram) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	frames := a.NumFrames()
+	if b.NumFrames() < frames {
+		frames = b.NumFrames()
+	}
+	bins := a.NumBins()
+	if b.NumBins() < bins {
+		bins = b.NumBins()
+	}
+	if frames == 0 || bins == 0 {
+		return 0
+	}
+	va := make([]float64, 0, frames*bins)
+	vb := make([]float64, 0, frames*bins)
+	for t := 0; t < frames; t++ {
+		va = append(va, a.Power[t][:bins]...)
+		vb = append(vb, b.Power[t][:bins]...)
+	}
+	return Pearson(va, vb)
+}
+
+// Mean returns the arithmetic mean of x (0 for an empty slice).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// Energy returns the sum of squares of x.
+func Energy(x []float64) float64 {
+	sum := 0.0
+	for _, v := range x {
+		sum += v * v
+	}
+	return sum
+}
+
+// RMS returns the root-mean-square amplitude of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return math.Sqrt(Energy(x) / float64(len(x)))
+}
+
+// MaxAbs returns the maximum absolute value in x.
+func MaxAbs(x []float64) float64 {
+	max := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Quartile3 returns the third quartile (75th percentile) of x using linear
+// interpolation between order statistics, matching the Q3 statistic of the
+// phoneme selection criteria (Eqs. 2-3). It returns 0 for an empty slice.
+// The input is not modified.
+func Quartile3(x []float64) float64 {
+	return Percentile(x, 0.75)
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of x using linear
+// interpolation. The input is not modified.
+func Percentile(x []float64, p float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, x)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,251 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateDelayRecoversShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	signal := make([]float64, 2000)
+	for i := range signal {
+		signal[i] = rng.NormFloat64()
+	}
+	for _, shift := range []int{0, 7, 100, 500} {
+		// b contains `shift` samples of noise, then the signal: the wearable
+		// started recording `shift` samples before the command content that
+		// the VA recording a starts with.
+		b := make([]float64, shift+len(signal))
+		for i := 0; i < shift; i++ {
+			b[i] = 0.01 * rng.NormFloat64()
+		}
+		copy(b[shift:], signal)
+		got := EstimateDelay(signal, b, 600)
+		if got != shift {
+			t.Errorf("shift %d: estimated %d", shift, got)
+		}
+	}
+}
+
+func TestCrossCorrelateNegativeMaxLag(t *testing.T) {
+	out := CrossCorrelate([]float64{1, 2}, []float64{1, 2}, -5)
+	if len(out) != 1 {
+		t.Errorf("len = %d, want 1", len(out))
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if r := Pearson(a, a); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %v, want 1", r)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if r := Pearson(a, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti correlation = %v, want -1", r)
+	}
+	if r := Pearson(a, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant vector correlation = %v, want 0", r)
+	}
+	if r := Pearson(a, []float64{1, 2}); r != 0 {
+		t.Errorf("mismatched lengths = %v, want 0", r)
+	}
+	if r := Pearson(nil, nil); r != 0 {
+		t.Errorf("empty = %v, want 0", r)
+	}
+}
+
+// Property: Pearson correlation is always in [-1, 1] and symmetric.
+func TestPearsonProperty(t *testing.T) {
+	f := func(pairs []struct{ A, B float64 }) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		a := make([]float64, len(pairs))
+		b := make([]float64, len(pairs))
+		for i, p := range pairs {
+			av, bv := p.A, p.B
+			if math.IsNaN(av) || math.IsInf(av, 0) {
+				av = 0
+			}
+			if math.IsNaN(bv) || math.IsInf(bv, 0) {
+				bv = 0
+			}
+			a[i] = math.Mod(av, 1e6)
+			b[i] = math.Mod(bv, 1e6)
+		}
+		r := Pearson(a, b)
+		if r < -1-1e-9 || r > 1+1e-9 {
+			return false
+		}
+		return math.Abs(r-Pearson(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms.
+func TestPearsonAffineInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(50)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		scale := rng.Float64()*10 + 0.1
+		offset := rng.NormFloat64() * 5
+		a2 := make([]float64, n)
+		for i := range a {
+			a2[i] = a[i]*scale + offset
+		}
+		if math.Abs(Pearson(a, b)-Pearson(a2, b)) > 1e-9 {
+			t.Fatalf("trial %d: affine transform changed correlation", trial)
+		}
+	}
+}
+
+func TestCorrelate2DIdenticalSpectrograms(t *testing.T) {
+	spec := &Spectrogram{Power: [][]float64{{1, 2, 3}, {4, 5, 6}}}
+	if r := Correlate2D(spec, spec.Clone()); math.Abs(r-1) > 1e-12 {
+		t.Errorf("identical spectrograms correlation = %v, want 1", r)
+	}
+}
+
+func TestCorrelate2DNoiseLowersCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := &Spectrogram{Power: make([][]float64, 20)}
+	for i := range base.Power {
+		row := make([]float64, 33)
+		for j := range row {
+			row[j] = math.Abs(rng.NormFloat64())
+		}
+		base.Power[i] = row
+	}
+	noisy := base.Clone()
+	for i := range noisy.Power {
+		for j := range noisy.Power[i] {
+			noisy.Power[i][j] += math.Abs(rng.NormFloat64()) * 3
+		}
+	}
+	clean := Correlate2D(base, base.Clone())
+	dirty := Correlate2D(base, noisy)
+	if dirty >= clean {
+		t.Errorf("noise did not reduce correlation: clean %v, noisy %v", clean, dirty)
+	}
+}
+
+func TestCorrelate2DMismatchedSizesUsesOverlap(t *testing.T) {
+	a := &Spectrogram{Power: [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}}
+	b := &Spectrogram{Power: [][]float64{{1, 2}, {4, 5}}}
+	r := Correlate2D(a, b)
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("overlap correlation = %v, want 1", r)
+	}
+}
+
+func TestCorrelate2DNil(t *testing.T) {
+	if r := Correlate2D(nil, nil); r != 0 {
+		t.Errorf("nil correlation = %v, want 0", r)
+	}
+	empty := &Spectrogram{}
+	if r := Correlate2D(empty, empty); r != 0 {
+		t.Errorf("empty correlation = %v, want 0", r)
+	}
+}
+
+func TestQuartile3(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if q := Quartile3(x); q != 4 {
+		t.Errorf("Q3 = %v, want 4", q)
+	}
+	if q := Quartile3(nil); q != 0 {
+		t.Errorf("Q3(nil) = %v, want 0", q)
+	}
+	if q := Quartile3([]float64{7}); q != 7 {
+		t.Errorf("Q3 single = %v, want 7", q)
+	}
+}
+
+func TestPercentileDoesNotModifyInput(t *testing.T) {
+	x := []float64{3, 1, 2}
+	Percentile(x, 0.5)
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	x := []float64{10, 20, 30}
+	if p := Percentile(x, 0); p != 10 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(x, 1); p != 30 {
+		t.Errorf("p1 = %v", p)
+	}
+	if p := Percentile(x, 0.5); p != 20 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := Percentile(x, -1); p != 10 {
+		t.Errorf("clamped low = %v", p)
+	}
+	if p := Percentile(x, 2); p != 30 {
+		t.Errorf("clamped high = %v", p)
+	}
+}
+
+func TestStatHelpers(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if e := Energy([]float64{3, 4}); e != 25 {
+		t.Errorf("Energy = %v", e)
+	}
+	if r := RMS([]float64{3, 4}); math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %v", r)
+	}
+	if r := RMS(nil); r != 0 {
+		t.Errorf("RMS(nil) = %v", r)
+	}
+	if m := MaxAbs([]float64{-5, 3}); m != 5 {
+		t.Errorf("MaxAbs = %v", m)
+	}
+}
+
+func TestEstimateDelayFastMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	signal := make([]float64, 8000)
+	for i := range signal {
+		signal[i] = rng.NormFloat64()
+	}
+	for _, shift := range []int{0, 100, 1600, 2400} {
+		b := make([]float64, shift+len(signal))
+		for i := 0; i < shift; i++ {
+			b[i] = 0.01 * rng.NormFloat64()
+		}
+		copy(b[shift:], signal)
+		exact := EstimateDelay(signal, b, 3000)
+		fast := EstimateDelayFast(signal, b, 3000)
+		if fast != exact {
+			t.Errorf("shift %d: fast %d != exact %d", shift, fast, exact)
+		}
+	}
+}
+
+func TestEstimateDelayRange(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	// Range clamping must not panic and must respect bounds.
+	if got := EstimateDelayRange(a, a, -5, -1); got != 0 {
+		t.Errorf("clamped range = %d", got)
+	}
+	if got := EstimateDelayRange(a, a, 2, 1); got != 2 {
+		t.Errorf("inverted range = %d", got)
+	}
+}

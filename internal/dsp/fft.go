@@ -1,0 +1,235 @@
+// Package dsp provides the digital signal processing primitives that the
+// rest of the system is built on: FFT/IFFT for arbitrary lengths, windowed
+// short-time analysis, IIR/FIR filtering, correlation (1D and 2D), the
+// DCT-II used by MFCC extraction, mel filterbanks, resampling, and test
+// signal generators.
+//
+// Everything is implemented from scratch on float64 slices using only the
+// standard library, so the package has no external dependencies and is
+// deterministic across platforms.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x.
+//
+// The input may have any length: power-of-two lengths use an in-place
+// iterative radix-2 Cooley-Tukey transform, and all other lengths fall back
+// to Bluestein's chirp-z algorithm. The input slice is not modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, including the
+// 1/N normalization, so that IFFT(FFT(x)) == x up to rounding error.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := 1 / float64(n)
+	for i := range out {
+		out[i] = complex(real(out[i])*inv, imag(out[i])*inv)
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal and returns the full complex
+// spectrum of the same length.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// Magnitude returns |x| for each bin of a complex spectrum.
+func Magnitude(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// MagnitudeSpectrum computes the single-sided magnitude spectrum of a real
+// signal: len(x)/2+1 bins covering 0..fs/2. Bin k corresponds to frequency
+// k*fs/len(x).
+func MagnitudeSpectrum(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	spec := FFTReal(x)
+	half := len(x)/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		out[i] = cmplx.Abs(spec[i])
+	}
+	return out
+}
+
+// PowerSpectrum computes the single-sided power spectrum |X(k)|^2 of a real
+// signal, with the same bin layout as MagnitudeSpectrum.
+func PowerSpectrum(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	spec := FFTReal(x)
+	half := len(x)/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		re, im := real(spec[i]), imag(spec[i])
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// BinFrequency returns the center frequency in Hz of FFT bin k for a
+// transform of length n over a signal sampled at rate fs.
+func BinFrequency(k, n int, fs float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) * fs / float64(n)
+}
+
+// FrequencyBin returns the FFT bin index closest to frequency f for a
+// transform of length n over a signal sampled at fs. The result is clamped
+// to [0, n/2].
+func FrequencyBin(f float64, n int, fs float64) int {
+	if fs <= 0 || n == 0 {
+		return 0
+	}
+	k := int(math.Round(f * float64(n) / fs))
+	if k < 0 {
+		k = 0
+	}
+	if k > n/2 {
+		k = n / 2
+	}
+	return k
+}
+
+// fftRadix2 performs an in-place iterative radix-2 FFT. len(x) must be a
+// power of two. If inverse is true the conjugate transform is computed
+// (without the 1/N scaling).
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// using three power-of-two FFTs of length >= 2n-1.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to avoid
+	// precision loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Rect(1, angle)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := 1 / float64(m)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * chirp[k] * complex(invM, 0)
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 0).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ValidateLength returns an error if n is not a positive power of two. It is
+// used by transforms that require radix-2 lengths at their API boundary.
+func ValidateLength(n int) error {
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: length %d is not a positive power of two", n)
+	}
+	return nil
+}

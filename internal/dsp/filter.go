@@ -1,0 +1,167 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a second-order IIR filter section in direct form II transposed.
+// The zero value is an identity filter only after normalization; construct
+// instances with the NewHighPass/NewLowPass/NewBandPass helpers.
+type Biquad struct {
+	b0, b1, b2 float64
+	a1, a2     float64
+	z1, z2     float64
+}
+
+// NewHighPass returns a Butterworth-style high-pass biquad with the given
+// cutoff frequency and quality factor. Q of 1/sqrt(2) gives the maximally
+// flat response.
+func NewHighPass(cutoff, sampleRate, q float64) (*Biquad, error) {
+	if err := validateCutoff(cutoff, sampleRate); err != nil {
+		return nil, fmt.Errorf("highpass: %w", err)
+	}
+	w0 := 2 * math.Pi * cutoff / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cosW0 := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 + cosW0) / 2 / a0,
+		b1: -(1 + cosW0) / a0,
+		b2: (1 + cosW0) / 2 / a0,
+		a1: -2 * cosW0 / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewLowPass returns a Butterworth-style low-pass biquad.
+func NewLowPass(cutoff, sampleRate, q float64) (*Biquad, error) {
+	if err := validateCutoff(cutoff, sampleRate); err != nil {
+		return nil, fmt.Errorf("lowpass: %w", err)
+	}
+	w0 := 2 * math.Pi * cutoff / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cosW0 := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 - cosW0) / 2 / a0,
+		b1: (1 - cosW0) / a0,
+		b2: (1 - cosW0) / 2 / a0,
+		a1: -2 * cosW0 / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewBandPass returns a constant-peak-gain band-pass biquad centered at
+// the given frequency.
+func NewBandPass(center, sampleRate, q float64) (*Biquad, error) {
+	if err := validateCutoff(center, sampleRate); err != nil {
+		return nil, fmt.Errorf("bandpass: %w", err)
+	}
+	w0 := 2 * math.Pi * center / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cosW0 := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: alpha / a0,
+		b1: 0,
+		b2: -alpha / a0,
+		a1: -2 * cosW0 / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+func validateCutoff(cutoff, sampleRate float64) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("sample rate %v must be positive", sampleRate)
+	}
+	if cutoff <= 0 || cutoff >= sampleRate/2 {
+		return fmt.Errorf("cutoff %vHz outside (0, %vHz)", cutoff, sampleRate/2)
+	}
+	return nil
+}
+
+// Reset clears the filter state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// ProcessSample filters one sample, advancing the internal state.
+func (f *Biquad) ProcessSample(x float64) float64 {
+	y := f.b0*x + f.z1
+	f.z1 = f.b1*x - f.a1*y + f.z2
+	f.z2 = f.b2*x - f.a2*y
+	return y
+}
+
+// Process filters the whole signal into a new slice, resetting state first.
+func (f *Biquad) Process(x []float64) []float64 {
+	f.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f.ProcessSample(v)
+	}
+	return out
+}
+
+// Response returns the filter's magnitude response at frequency f for the
+// given sample rate.
+func (f *Biquad) Response(freq, sampleRate float64) float64 {
+	w := 2 * math.Pi * freq / sampleRate
+	cos1, sin1 := math.Cos(w), math.Sin(w)
+	cos2, sin2 := math.Cos(2*w), math.Sin(2*w)
+	numRe := f.b0 + f.b1*cos1 + f.b2*cos2
+	numIm := -(f.b1*sin1 + f.b2*sin2)
+	denRe := 1 + f.a1*cos1 + f.a2*cos2
+	denIm := -(f.a1*sin1 + f.a2*sin2)
+	num := math.Hypot(numRe, numIm)
+	den := math.Hypot(denRe, denIm)
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// PreEmphasis applies the standard first-order pre-emphasis filter
+// y[n] = x[n] - coef*x[n-1] used before MFCC extraction.
+func PreEmphasis(x []float64, coef float64) []float64 {
+	out := make([]float64, len(x))
+	prev := 0.0
+	for i, v := range x {
+		out[i] = v - coef*prev
+		prev = v
+	}
+	return out
+}
+
+// FrequencyShape filters a real signal in the frequency domain by
+// multiplying each FFT bin magnitude with gain(freq). It is used to apply
+// measured transfer functions (barrier transmission, microphone and
+// accelerometer responses) that are easier to express as magnitude curves
+// than as rational filters. Phase is preserved.
+func FrequencyShape(x []float64, sampleRate float64, gain func(freqHz float64) float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	m := NextPow2(n)
+	buf := make([]complex128, m)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	fftRadix2(buf, false)
+	// Apply gain symmetrically so the result stays real.
+	for k := 0; k <= m/2; k++ {
+		f := BinFrequency(k, m, sampleRate)
+		g := gain(f)
+		buf[k] = complex(real(buf[k])*g, imag(buf[k])*g)
+		if k != 0 && k != m/2 {
+			buf[m-k] = complex(real(buf[m-k])*g, imag(buf[m-k])*g)
+		}
+	}
+	fftRadix2(buf, true)
+	out := make([]float64, n)
+	inv := 1 / float64(m)
+	for i := 0; i < n; i++ {
+		out[i] = real(buf[i]) * inv
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tone generates a sine wave of the given frequency, amplitude, and
+// duration in seconds at sample rate fs.
+func Tone(freq, amplitude, duration, fs float64) []float64 {
+	n := int(duration * fs)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amplitude * math.Sin(2*math.Pi*freq*float64(i)/fs)
+	}
+	return out
+}
+
+// Chirp generates a linear frequency sweep from f0 to f1 Hz over the given
+// duration. It is used to reproduce the accelerometer frequency-response
+// measurement of Fig. 7 (a 500-2500 Hz chirp).
+func Chirp(f0, f1, amplitude, duration, fs float64) []float64 {
+	n := int(duration * fs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	k := (f1 - f0) / duration
+	for i := range out {
+		t := float64(i) / fs
+		phase := 2 * math.Pi * (f0*t + k*t*t/2)
+		out[i] = amplitude * math.Sin(phase)
+	}
+	return out
+}
+
+// Mix sums any number of signals sample-wise; the output has the length of
+// the longest input.
+func Mix(signals ...[]float64) []float64 {
+	maxLen := 0
+	for _, s := range signals {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	out := make([]float64, maxLen)
+	for _, s := range signals {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Scale multiplies x by g into a new slice.
+func Scale(x []float64, g float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v * g
+	}
+	return out
+}
+
+// Concat concatenates signals into a single new slice.
+func Concat(signals ...[]float64) []float64 {
+	total := 0
+	for _, s := range signals {
+		total += len(s)
+	}
+	out := make([]float64, 0, total)
+	for _, s := range signals {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// FadeEdges applies a raised-cosine fade-in/out of fadeLen samples to avoid
+// clicks at segment boundaries. It modifies x in place and returns it.
+func FadeEdges(x []float64, fadeLen int) []float64 {
+	if fadeLen*2 > len(x) {
+		fadeLen = len(x) / 2
+	}
+	for i := 0; i < fadeLen; i++ {
+		g := 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(fadeLen)))
+		x[i] *= g
+		x[len(x)-1-i] *= g
+	}
+	return x
+}
+
+// AmplitudeToDB converts a linear amplitude ratio to decibels. Amplitudes
+// at or below zero map to a -120 dB floor.
+func AmplitudeToDB(a float64) float64 {
+	if a <= 0 {
+		return -120
+	}
+	return 20 * math.Log10(a)
+}
+
+// DBToAmplitude converts decibels to a linear amplitude ratio.
+func DBToAmplitude(db float64) float64 {
+	return math.Pow(10, db/20)
+}
+
+// SPLToAmplitude converts a sound pressure level in dB SPL to a nominal
+// linear waveform amplitude, calibrated so that 94 dB SPL corresponds to
+// amplitude 1.0 (a common digital full-scale calibration point).
+func SPLToAmplitude(splDB float64) float64 {
+	return DBToAmplitude(splDB - 94)
+}
+
+// AmplitudeToSPL is the inverse of SPLToAmplitude.
+func AmplitudeToSPL(a float64) float64 {
+	return AmplitudeToDB(a) + 94
+}
+
+// NormalizeRMS scales x so its RMS equals target, returning a new slice.
+// A silent signal is returned unchanged (copied).
+func NormalizeRMS(x []float64, target float64) ([]float64, error) {
+	if target < 0 {
+		return nil, fmt.Errorf("normalize: target RMS %v must be non-negative", target)
+	}
+	rms := RMS(x)
+	out := make([]float64, len(x))
+	copy(out, x)
+	if rms == 0 {
+		return out, nil
+	}
+	g := target / rms
+	for i := range out {
+		out[i] *= g
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// HzToMel converts a frequency in Hz to the mel scale (O'Shaughnessy).
+func HzToMel(hz float64) float64 {
+	return 2595 * math.Log10(1+hz/700)
+}
+
+// MelToHz converts a mel-scale value back to Hz.
+func MelToHz(mel float64) float64 {
+	return 700 * (math.Pow(10, mel/2595) - 1)
+}
+
+// MelFilterbank is a bank of triangular filters on the mel scale applied to
+// a power spectrum.
+type MelFilterbank struct {
+	filters [][]float64 // filters[c][bin]
+	numBins int
+}
+
+// NewMelFilterbank builds numChannels triangular filters spanning
+// [lowHz, highHz] for power spectra with numBins bins (fftSize/2+1) at the
+// given sample rate.
+func NewMelFilterbank(numChannels, fftSize int, sampleRate, lowHz, highHz float64) (*MelFilterbank, error) {
+	if numChannels <= 0 {
+		return nil, fmt.Errorf("mel: channels %d must be positive", numChannels)
+	}
+	if highHz <= lowHz || lowHz < 0 {
+		return nil, fmt.Errorf("mel: invalid band [%v, %v]", lowHz, highHz)
+	}
+	if highHz > sampleRate/2 {
+		return nil, fmt.Errorf("mel: high edge %vHz above Nyquist %vHz", highHz, sampleRate/2)
+	}
+	numBins := fftSize/2 + 1
+	lowMel, highMel := HzToMel(lowHz), HzToMel(highHz)
+	// numChannels+2 edge points.
+	edges := make([]float64, numChannels+2)
+	for i := range edges {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(numChannels+1)
+		edges[i] = MelToHz(mel)
+	}
+	binFreq := func(k int) float64 { return BinFrequency(k, fftSize, sampleRate) }
+	filters := make([][]float64, numChannels)
+	for c := 0; c < numChannels; c++ {
+		f := make([]float64, numBins)
+		left, center, right := edges[c], edges[c+1], edges[c+2]
+		for k := 0; k < numBins; k++ {
+			freq := binFreq(k)
+			switch {
+			case freq >= left && freq <= center && center > left:
+				f[k] = (freq - left) / (center - left)
+			case freq > center && freq <= right && right > center:
+				f[k] = (right - freq) / (right - center)
+			}
+		}
+		// A triangle narrower than one FFT bin can land entirely between
+		// bins; give such filters support at the bin nearest their center
+		// so no channel is silently dead.
+		hasSupport := false
+		for _, v := range f {
+			if v > 0 {
+				hasSupport = true
+				break
+			}
+		}
+		if !hasSupport {
+			f[FrequencyBin(center, fftSize, sampleRate)] = 1
+		}
+		filters[c] = f
+	}
+	return &MelFilterbank{filters: filters, numBins: numBins}, nil
+}
+
+// NumChannels returns the number of filterbank channels.
+func (m *MelFilterbank) NumChannels() int { return len(m.filters) }
+
+// Apply computes per-channel filterbank energies from a power spectrum of
+// the expected bin count.
+func (m *MelFilterbank) Apply(power []float64) ([]float64, error) {
+	if len(power) != m.numBins {
+		return nil, fmt.Errorf("mel: power spectrum has %d bins, want %d", len(power), m.numBins)
+	}
+	out := make([]float64, len(m.filters))
+	for c, f := range m.filters {
+		sum := 0.0
+		for k, w := range f {
+			if w != 0 {
+				sum += w * power[k]
+			}
+		}
+		out[c] = sum
+	}
+	return out, nil
+}
+
+// DCT2 computes the type-II discrete cosine transform of x with the
+// orthonormal scaling used in MFCC pipelines, returning the first numCoeffs
+// coefficients.
+func DCT2(x []float64, numCoeffs int) []float64 {
+	n := len(x)
+	if n == 0 || numCoeffs <= 0 {
+		return nil
+	}
+	if numCoeffs > n {
+		numCoeffs = n
+	}
+	out := make([]float64, numCoeffs)
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for k := 0; k < numCoeffs; k++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		if k == 0 {
+			out[k] = sum * scale0
+		} else {
+			out[k] = sum * scale
+		}
+	}
+	return out
+}

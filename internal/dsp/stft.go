@@ -1,0 +1,180 @@
+package dsp
+
+import "fmt"
+
+// Spectrogram is a time-frequency power representation: Power[t][f] holds
+// the squared magnitude of frequency bin f in frame t. NumBins is
+// FFTSize/2+1; bin f covers frequency f*SampleRate/FFTSize.
+type Spectrogram struct {
+	Power      [][]float64
+	FFTSize    int
+	HopSize    int
+	SampleRate float64
+}
+
+// NumFrames returns the number of time frames.
+func (s *Spectrogram) NumFrames() int { return len(s.Power) }
+
+// NumBins returns the number of frequency bins per frame.
+func (s *Spectrogram) NumBins() int {
+	if len(s.Power) == 0 {
+		return 0
+	}
+	return len(s.Power[0])
+}
+
+// BinFrequency returns the center frequency in Hz of bin f.
+func (s *Spectrogram) BinFrequency(f int) float64 {
+	return BinFrequency(f, s.FFTSize, s.SampleRate)
+}
+
+// Clone returns a deep copy of the spectrogram.
+func (s *Spectrogram) Clone() *Spectrogram {
+	out := &Spectrogram{
+		Power:      make([][]float64, len(s.Power)),
+		FFTSize:    s.FFTSize,
+		HopSize:    s.HopSize,
+		SampleRate: s.SampleRate,
+	}
+	for i, row := range s.Power {
+		r := make([]float64, len(row))
+		copy(r, row)
+		out.Power[i] = r
+	}
+	return out
+}
+
+// CropBelow removes all bins whose center frequency is <= cutoff Hz,
+// returning a new spectrogram. The paper crops <= 5 Hz to suppress the
+// accelerometer's low-frequency sensitivity artifact and body-motion
+// interference (Section VI-B).
+func (s *Spectrogram) CropBelow(cutoff float64) *Spectrogram {
+	start := 0
+	for start < s.NumBins() && s.BinFrequency(start) <= cutoff {
+		start++
+	}
+	out := &Spectrogram{FFTSize: s.FFTSize, HopSize: s.HopSize, SampleRate: s.SampleRate}
+	out.Power = make([][]float64, len(s.Power))
+	for i, row := range s.Power {
+		r := make([]float64, len(row)-start)
+		copy(r, row[start:])
+		out.Power[i] = r
+	}
+	return out
+}
+
+// MaxValue returns the maximum power value over all frames and bins (0 for
+// an empty spectrogram).
+func (s *Spectrogram) MaxValue() float64 {
+	max := 0.0
+	for _, row := range s.Power {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// Normalize divides every value by the spectrogram maximum in place, so the
+// result lies in [0, 1]. A zero spectrogram is left unchanged. This is the
+// vibration-domain normalization of Section VI-C that removes the scale
+// differences caused by varying user-to-VA distances.
+func (s *Spectrogram) Normalize() {
+	max := s.MaxValue()
+	if max <= 0 {
+		return
+	}
+	inv := 1 / max
+	for _, row := range s.Power {
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+}
+
+// Flatten returns all values in frame-major order.
+func (s *Spectrogram) Flatten() []float64 {
+	out := make([]float64, 0, s.NumFrames()*s.NumBins())
+	for _, row := range s.Power {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// STFTConfig configures short-time Fourier analysis.
+type STFTConfig struct {
+	// FFTSize is both the analysis window length and the FFT length.
+	// Must be a positive power of two.
+	FFTSize int
+	// HopSize is the frame advance in samples. Defaults to FFTSize/2.
+	HopSize int
+	// Window selects the analysis window. Defaults to Hann.
+	Window WindowKind
+	// SampleRate is the sampling rate of the input in Hz.
+	SampleRate float64
+}
+
+func (c *STFTConfig) withDefaults() (STFTConfig, error) {
+	cfg := *c
+	if err := ValidateLength(cfg.FFTSize); err != nil {
+		return cfg, fmt.Errorf("stft: %w", err)
+	}
+	if cfg.HopSize <= 0 {
+		cfg.HopSize = cfg.FFTSize / 2
+	}
+	if cfg.Window == 0 {
+		cfg.Window = WindowHann
+	}
+	if cfg.SampleRate <= 0 {
+		return cfg, fmt.Errorf("stft: sample rate %v must be positive", cfg.SampleRate)
+	}
+	return cfg, nil
+}
+
+// STFT computes the power spectrogram of x. Frames that would run past the
+// end of the signal are zero-padded, so even a short signal yields at least
+// one frame.
+func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return &Spectrogram{FFTSize: c.FFTSize, HopSize: c.HopSize, SampleRate: c.SampleRate}, nil
+	}
+	win := Window(c.Window, c.FFTSize)
+	numFrames := 1
+	if len(x) > c.FFTSize {
+		numFrames = 1 + (len(x)-c.FFTSize+c.HopSize-1)/c.HopSize
+	}
+	half := c.FFTSize/2 + 1
+	power := make([][]float64, numFrames)
+	frame := make([]complex128, c.FFTSize)
+	for t := 0; t < numFrames; t++ {
+		start := t * c.HopSize
+		for i := 0; i < c.FFTSize; i++ {
+			v := 0.0
+			if start+i < len(x) {
+				v = x[start+i] * win[i]
+			}
+			frame[i] = complex(v, 0)
+		}
+		spec := make([]complex128, c.FFTSize)
+		copy(spec, frame)
+		fftRadix2(spec, false)
+		row := make([]float64, half)
+		for f := 0; f < half; f++ {
+			re, im := real(spec[f]), imag(spec[f])
+			row[f] = re*re + im*im
+		}
+		power[t] = row
+	}
+	return &Spectrogram{
+		Power:      power,
+		FFTSize:    c.FFTSize,
+		HopSize:    c.HopSize,
+		SampleRate: c.SampleRate,
+	}, nil
+}

@@ -1,0 +1,73 @@
+package dsp
+
+import "math"
+
+// WindowKind selects a window function for short-time analysis.
+type WindowKind int
+
+// Supported analysis windows.
+const (
+	WindowHann WindowKind = iota + 1
+	WindowHamming
+	WindowRect
+	WindowBlackman
+)
+
+// String returns the human-readable window name.
+func (w WindowKind) String() string {
+	switch w {
+	case WindowHann:
+		return "hann"
+	case WindowHamming:
+		return "hamming"
+	case WindowRect:
+		return "rect"
+	case WindowBlackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Window returns the n-point window of the given kind. Periodic form is
+// used (denominator n), which is the conventional choice for STFT.
+func Window(kind WindowKind, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	switch kind {
+	case WindowHamming:
+		for i := range w {
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n))
+		}
+	case WindowRect:
+		for i := range w {
+			w[i] = 1
+		}
+	case WindowBlackman:
+		for i := range w {
+			t := 2 * math.Pi * float64(i) / float64(n)
+			w[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+		}
+	default: // Hann
+		for i := range w {
+			w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
+		}
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by window w into a new slice. If the
+// lengths differ, the shorter length is used.
+func ApplyWindow(x, w []float64) []float64 {
+	n := len(x)
+	if len(w) < n {
+		n = len(w)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = x[i] * w[i]
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vibguard/internal/acoustics"
+	"vibguard/internal/attack"
+	"vibguard/internal/device"
+	"vibguard/internal/dsp"
+	"vibguard/internal/phoneme"
+	"vibguard/internal/syncnet"
+)
+
+// Condition captures one physical setting of the experiments.
+type Condition struct {
+	// Room is the environment (A-D).
+	Room acoustics.Room
+	// UserToVAM is the legitimate user's distance to the VA device.
+	UserToVAM float64
+	// BarrierToVAM is the distance from the barrier to the VA device
+	// (2 m in most experiments, swept in Fig. 11c).
+	BarrierToVAM float64
+	// BarrierToWearableM is the distance from the barrier to the user's
+	// wearable during an attack (2 m in the paper).
+	BarrierToWearableM float64
+	// UserSPL is the user's speaking level at 1 m in dB SPL.
+	UserSPL float64
+	// AttackSPL is the adversary's playback level in dB SPL (65/75/85).
+	AttackSPL float64
+}
+
+// DefaultCondition returns the paper's standard setting in Room A.
+func DefaultCondition() Condition {
+	room, err := acoustics.RoomByName("A")
+	if err != nil {
+		// Unreachable: Room A always exists.
+		panic(err)
+	}
+	return Condition{
+		Room:               room,
+		UserToVAM:          1.5,
+		BarrierToVAM:       2,
+		BarrierToWearableM: 2,
+		UserSPL:            70,
+		AttackSPL:          75,
+	}
+}
+
+// mouthToWearableM is the distance from the user's mouth to the wrist-worn
+// wearable.
+const mouthToWearableM = 0.3
+
+// loudspeakerToBarrierM is the attack loudspeaker's distance to the
+// barrier (10 cm in the paper).
+const loudspeakerToBarrierM = 0.1
+
+// Sample is one evaluation trial: the pair of recordings plus ground
+// truth.
+type Sample struct {
+	// VARec is the VA device's recording.
+	VARec []float64
+	// WearRec is the wearable's recording, including the simulated
+	// network-delay offset that the defense must remove.
+	WearRec []float64
+	// LeadSamples is the length of the pre-command ambient context in
+	// both recordings; ground-truth alignments shift by this much.
+	LeadSamples int
+	// IsAttack is the ground-truth label.
+	IsAttack bool
+	// AttackKind is set for attack samples.
+	AttackKind attack.Kind
+	// Utterance is the source utterance (nil for hidden voice attacks).
+	Utterance *phoneme.Utterance
+	// Condition echoes the physical setting.
+	Condition Condition
+}
+
+// Generator produces evaluation samples under controlled conditions.
+type Generator struct {
+	voices   []phoneme.VoiceProfile
+	va       *device.VADevice
+	wearable *device.Wearable
+	attacker *attack.Attacker
+	rng      *rand.Rand
+	commands []phoneme.Command
+}
+
+// NewGenerator creates a generator with the given participant count and
+// seed. It uses the Nexus-6-as-VA and Fossil Gen 5 devices of Section
+// VII-A.
+func NewGenerator(participants int, seed int64) (*Generator, error) {
+	if participants < 2 {
+		return nil, fmt.Errorf("eval: need at least 2 participants, got %d", participants)
+	}
+	return &Generator{
+		voices:   phoneme.NewVoicePool(participants, seed),
+		va:       device.NewGoogleHome(),
+		wearable: device.NewFossilGen5(),
+		attacker: attack.NewAttacker(seed + 1),
+		rng:      rand.New(rand.NewSource(seed + 2)),
+		commands: phoneme.Commands(),
+	}, nil
+}
+
+// Voices returns the participant voice pool.
+func (g *Generator) Voices() []phoneme.VoiceProfile { return g.voices }
+
+// Commands returns the command corpus.
+func (g *Generator) Commands() []phoneme.Command { return g.commands }
+
+// Wearable returns the generator's wearable device model.
+func (g *Generator) Wearable() *device.Wearable { return g.wearable }
+
+// recordPair captures one acoustic source on both devices: the VA at
+// vaDist and the wearable at wearDist, inside the given room, optionally
+// through the barrier. The wearable recording gets a random network-delay
+// lead of 50-150 ms.
+// recordingContextSec is the ambient context captured before and after
+// the command in every recording (the VA buffers audio around the wake
+// word; the wearable serves its trigger window the same way).
+const recordingContextSec = 0.5
+
+func (g *Generator) recordPair(source []float64, cond Condition, vaDist, wearDist float64, thruBarrier bool) (va, wear []float64, lead int, err error) {
+	// The user faces a random direction relative to the VA device, so the
+	// far-field path loses a random amount of high-frequency energy to
+	// source directivity; the wrist-worn wearable stays near the mouth.
+	orientation := 0.05 + 0.95*g.rng.Float64()
+	lead = int(recordingContextSec * phoneme.SampleRate)
+	padded := dsp.Concat(make([]float64, lead), source, make([]float64, lead))
+	pVA, err := cond.Room.Transmit(padded, acoustics.PathConfig{
+		SourceSPL:       sourceSPL(cond, thruBarrier),
+		DistanceM:       vaDist,
+		ThroughBarrier:  thruBarrier,
+		OrientationGain: orientation,
+		SampleRate:      phoneme.SampleRate,
+	}, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	pWear, err := cond.Room.Transmit(padded, acoustics.PathConfig{
+		SourceSPL:      sourceSPL(cond, thruBarrier),
+		DistanceM:      wearDist,
+		ThroughBarrier: thruBarrier,
+		SampleRate:     phoneme.SampleRate,
+	}, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	vaRec, err := g.va.Record(pVA, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	wearRec, err := g.wearable.Record(pWear, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	delay := 0.05 + g.rng.Float64()*0.1
+	wearRec = syncnet.SimulateNetworkDelay(wearRec, delay, phoneme.SampleRate, g.rng)
+	return vaRec, wearRec, lead, nil
+}
+
+func sourceSPL(cond Condition, thruBarrier bool) float64 {
+	if thruBarrier {
+		return cond.AttackSPL
+	}
+	return cond.UserSPL
+}
+
+// Legit generates a legitimate sample: participant voiceIdx speaks command
+// cmdIdx in the room; the VA records at UserToVAM and the wearable at
+// wrist distance.
+func (g *Generator) Legit(voiceIdx, cmdIdx int, cond Condition) (*Sample, error) {
+	if voiceIdx < 0 || voiceIdx >= len(g.voices) {
+		return nil, fmt.Errorf("eval: voice index %d out of range", voiceIdx)
+	}
+	cmd := g.commands[cmdIdx%len(g.commands)]
+	synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(g.voices[voiceIdx]))
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	utt, err := synth.Synthesize(cmd)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	vaRec, wearRec, lead, err := g.recordPair(utt.Samples, cond, cond.UserToVAM, mouthToWearableM, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Sample{
+		VARec: vaRec, WearRec: wearRec, LeadSamples: lead,
+		Utterance: utt, Condition: cond,
+	}, nil
+}
+
+// withUtteranceSeed varies the per-utterance articulation randomness while
+// keeping the speaker identity.
+func (g *Generator) withUtteranceSeed(p phoneme.VoiceProfile) phoneme.VoiceProfile {
+	p.Seed = g.rng.Int63()
+	return p
+}
+
+// Attack generates an attack sample of the given kind against victim
+// victimIdx using command cmdIdx. The attack loudspeaker is 10 cm behind
+// the barrier; the VA is BarrierToVAM away and the wearable (worn by the
+// present user) BarrierToWearableM away.
+func (g *Generator) Attack(kind attack.Kind, victimIdx, cmdIdx int, cond Condition) (*Sample, error) {
+	if victimIdx < 0 || victimIdx >= len(g.voices) {
+		return nil, fmt.Errorf("eval: victim index %d out of range", victimIdx)
+	}
+	cmd := g.commands[cmdIdx%len(g.commands)]
+	victim := g.voices[victimIdx]
+
+	var sourceUtt *phoneme.Utterance
+	var attackAudio []float64
+	switch kind {
+	case attack.Random:
+		adversary := g.voices[(victimIdx+1+g.rng.Intn(len(g.voices)-1))%len(g.voices)]
+		synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(adversary))
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		sourceUtt = utt
+		// The experiments replay all attack sounds through the barrier
+		// with a loudspeaker (Section VII-A), so the adversary's voice
+		// goes through the same record-and-playback chain.
+		attackAudio, err = g.attacker.ReplayAttack(utt.Samples)
+		if err != nil {
+			return nil, err
+		}
+	case attack.Replay:
+		synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(victim))
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		sourceUtt = utt
+		attackAudio, err = g.attacker.ReplayAttack(utt.Samples)
+		if err != nil {
+			return nil, err
+		}
+	case attack.Synthesis:
+		victimSamples, err := g.victimSamples(victim)
+		if err != nil {
+			return nil, err
+		}
+		clone, err := g.attacker.CloneVoice(victimSamples)
+		if err != nil {
+			return nil, err
+		}
+		synth, err := phoneme.NewSynthesizer(clone)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		sourceUtt = utt
+		attackAudio, err = g.attacker.ReplayAttack(utt.Samples)
+		if err != nil {
+			return nil, err
+		}
+	case attack.HiddenVoice:
+		synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(victim))
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		sourceUtt = utt
+		attackAudio, err = g.attacker.HiddenVoiceAttack(utt.Samples)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("eval: unknown attack kind %d", kind)
+	}
+
+	vaRec, wearRec, lead, err := g.recordPair(attackAudio, cond,
+		loudspeakerToBarrierM+cond.BarrierToVAM,
+		loudspeakerToBarrierM+cond.BarrierToWearableM, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Sample{
+		VARec: vaRec, WearRec: wearRec, LeadSamples: lead,
+		IsAttack: true, AttackKind: kind,
+		Utterance: sourceUtt, Condition: cond,
+	}, nil
+}
+
+// victimSamples synthesizes the 20 victim voice commands the synthesis
+// attacker trains on (Section VII-A); a small cache would be possible but
+// the clone only needs a few utterances for a stable F0 estimate.
+func (g *Generator) victimSamples(victim phoneme.VoiceProfile) ([][]float64, error) {
+	samples := make([][]float64, 0, 3)
+	synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(victim))
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	for i := 0; i < 3; i++ {
+		utt, err := synth.Synthesize(g.commands[i])
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		samples = append(samples, utt.Samples)
+	}
+	return samples, nil
+}

@@ -1,0 +1,238 @@
+package eval
+
+import (
+	"testing"
+
+	"vibguard/internal/attack"
+)
+
+func TestStandardConditions(t *testing.T) {
+	conds := StandardConditions()
+	if len(conds) != 36 {
+		t.Fatalf("conditions = %d, want 36 (4 rooms x 3 distances x 3 volumes)", len(conds))
+	}
+	rooms := map[string]bool{}
+	spls := map[float64]bool{}
+	for _, c := range conds {
+		rooms[c.Room.Name] = true
+		spls[c.AttackSPL] = true
+	}
+	if len(rooms) != 4 || len(spls) != 3 {
+		t.Errorf("coverage: %d rooms, %d attack SPLs", len(rooms), len(spls))
+	}
+}
+
+func TestFigure3BarrierEffect(t *testing.T) {
+	cmps, err := Figure3([]string{"ae", "v"}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != 2 {
+		t.Fatalf("comparisons = %d", len(cmps))
+	}
+	for _, cmp := range cmps {
+		// High-frequency bins (>500Hz) must be attenuated after the
+		// barrier; low bins much less.
+		var hiBefore, hiAfter, loBefore, loAfter float64
+		for k, f := range cmp.Freqs {
+			if f > 500 {
+				hiBefore += cmp.Before[k]
+				hiAfter += cmp.After[k]
+			} else if f > 50 {
+				loBefore += cmp.Before[k]
+				loAfter += cmp.After[k]
+			}
+		}
+		if hiAfter > hiBefore*0.3 {
+			t.Errorf("%s: high band not attenuated: %v -> %v", cmp.Symbol, hiBefore, hiAfter)
+		}
+		if loAfter < loBefore*0.3 {
+			t.Errorf("%s: low band over-attenuated: %v -> %v", cmp.Symbol, loBefore, loAfter)
+		}
+	}
+}
+
+func TestFigure4VibrationDomainSeparation(t *testing.T) {
+	// The key insight of Fig. 4: in the vibration domain, the thru-barrier
+	// version of a vowel collapses while the direct version stays strong.
+	cmps, err := Figure4([]string{"ae"}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := cmps[0]
+	var before, after float64
+	for k, f := range cmp.Freqs {
+		if f <= 5 {
+			continue // skip the artifact band
+		}
+		before += cmp.Before[k]
+		after += cmp.After[k]
+	}
+	if after > before*0.5 {
+		t.Errorf("vibration-domain barrier effect too weak: %v -> %v", before, after)
+	}
+}
+
+func TestFigure7Artifact(t *testing.T) {
+	freqs, power, err := Figure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != len(power) {
+		t.Fatal("length mismatch")
+	}
+	var low, lowN, mid, midN float64
+	for k, f := range freqs {
+		switch {
+		case f > 0.2 && f <= 5:
+			low += power[k]
+			lowN++
+		case f >= 20 && f <= 80:
+			mid += power[k]
+			midN++
+		}
+	}
+	if low/lowN < 2*mid/midN {
+		t.Errorf("0-5Hz artifact response %v not dominant over mid band %v", low/lowN, mid/midN)
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	entries, err := TableI(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 barriers x 4 devices x 3 attacks x 2 SPLs + 2x2 hidden cells.
+	if len(entries) != 52 {
+		t.Fatalf("entries = %d, want 52", len(entries))
+	}
+	perDevice := map[string]int{}
+	for _, e := range entries {
+		if e.Successes > e.Attempts {
+			t.Errorf("%+v: successes exceed attempts", e)
+		}
+		if !e.Tested && e.Successes != 0 {
+			t.Errorf("%+v: untested cell has successes", e)
+		}
+		// Siri devices must not be tested for random/synthesis.
+		if (e.Device == "iPhone" || e.Device == "MacBook Pro") &&
+			(e.Attack == attack.Random || e.Attack == attack.Synthesis) && e.Tested {
+			t.Errorf("%s should not be tested for %v", e.Device, e.Attack)
+		}
+		perDevice[e.Device] += e.Successes
+	}
+	// Ordering: Google Home most susceptible, iPhone least.
+	if perDevice["Google Home"] <= perDevice["iPhone"] {
+		t.Errorf("susceptibility ordering broken: GH %d vs iPhone %d",
+			perDevice["Google Home"], perDevice["iPhone"])
+	}
+	if _, err := TableI(0, 1); err == nil {
+		t.Error("zero attempts should error")
+	}
+}
+
+func TestFigure9SmallRun(t *testing.T) {
+	cfg := FigureConfig{Participants: 4, CommandsPerUser: 2, AttacksPerKind: 6, Seed: 1}
+	sums, err := Figure9(attack.Replay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("arms = %d", len(sums))
+	}
+	// The full system must beat chance decisively even on a tiny dataset.
+	if sums[2].AUC < 0.8 {
+		t.Errorf("full system AUC = %v, want >= 0.8", sums[2].AUC)
+	}
+}
+
+func TestFigure11aSmallRun(t *testing.T) {
+	cfg := FigureConfig{Participants: 4, CommandsPerUser: 2, AttacksPerKind: 6, Seed: 1}
+	cells, err := Figure11a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 volumes x 3 methods.
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d, want 9", len(cells))
+	}
+	for _, c := range cells {
+		if c.EER < 0 || c.EER > 1 {
+			t.Errorf("cell %+v EER out of range", c)
+		}
+	}
+}
+
+func TestFigure11bSmallRun(t *testing.T) {
+	cfg := FigureConfig{Participants: 4, CommandsPerUser: 2, AttacksPerKind: 4, Seed: 1}
+	cells, err := Figure11b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 materials x 4 attacks.
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+}
+
+func TestDetectionAccuracySmallRun(t *testing.T) {
+	direct, thru, err := DetectionAccuracy(16, 2, 5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a small model beats chance comfortably; the full-size model
+	// (benchgen) approaches the paper's 94%/91%.
+	if direct < 0.75 {
+		t.Errorf("direct accuracy = %v, want >= 0.75", direct)
+	}
+	if thru < 0.6 {
+		t.Errorf("thru-barrier accuracy = %v, want >= 0.6", thru)
+	}
+}
+
+func TestFigureErrorPaths(t *testing.T) {
+	if _, err := Figure3([]string{"ae"}, 0, 1); err == nil {
+		t.Error("zero samples should error")
+	}
+	if _, err := Figure4([]string{"ae"}, 0, 1); err == nil {
+		t.Error("zero samples should error")
+	}
+	if _, err := Figure3([]string{"bogus"}, 1, 1); err == nil {
+		t.Error("unknown phoneme should error")
+	}
+}
+
+func TestWearableComparisonSmallRun(t *testing.T) {
+	cfg := FigureConfig{Participants: 4, CommandsPerUser: 2, AttacksPerKind: 6, Seed: 1}
+	cells, err := WearableComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Summary.AUC < 0.7 {
+			t.Errorf("%s AUC = %v, want >= 0.7", c.Wearable, c.Summary.AUC)
+		}
+	}
+	if cells[0].Wearable == cells[1].Wearable {
+		t.Error("wearables identical")
+	}
+}
+
+func TestBodyMotionRobustnessSmallRun(t *testing.T) {
+	cfg := FigureConfig{Participants: 4, CommandsPerUser: 2, AttacksPerKind: 6, Seed: 1}
+	cells, err := BodyMotionRobustness(cfg, []float64{0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// The sub-5Hz crop should keep motion degradation modest.
+	if cells[1].Summary.AUC < cells[0].Summary.AUC-0.2 {
+		t.Errorf("body motion degraded AUC too much: %v -> %v",
+			cells[0].Summary.AUC, cells[1].Summary.AUC)
+	}
+}

@@ -1,0 +1,148 @@
+// Package eval provides the evaluation harness of Section VII: detection
+// metrics (TDR, FDR, EER, AUC, ROC curves), dataset generators that
+// reproduce the paper's experimental conditions (20 participants, 20
+// commands, four rooms, three attack volumes, three distances), and
+// experiment runners for every table and figure.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of the receiver operating
+// characteristic.
+type ROCPoint struct {
+	// Threshold is the score threshold: scores below it are flagged as
+	// attacks.
+	Threshold float64
+	// TDR is the true detection rate: the fraction of attacks correctly
+	// flagged.
+	TDR float64
+	// FDR is the false detection rate: the fraction of legitimate
+	// commands wrongly flagged.
+	FDR float64
+}
+
+// ROC is a full receiver operating characteristic curve.
+type ROC struct {
+	Points []ROCPoint
+}
+
+// ComputeROC sweeps the decision threshold over [-1, 1] in steps of 0.01
+// (the paper sweeps its normalized score in steps of 0.01) and returns the
+// resulting curve. Legitimate commands should score high and attacks low.
+func ComputeROC(legitScores, attackScores []float64) (*ROC, error) {
+	if len(legitScores) == 0 || len(attackScores) == 0 {
+		return nil, fmt.Errorf("eval: need both legitimate (%d) and attack (%d) scores",
+			len(legitScores), len(attackScores))
+	}
+	roc := &ROC{Points: make([]ROCPoint, 0, 201)}
+	for i := 0; i <= 200; i++ {
+		th := -1 + float64(i)*0.01
+		roc.Points = append(roc.Points, ROCPoint{
+			Threshold: th,
+			TDR:       fractionBelow(attackScores, th),
+			FDR:       fractionBelow(legitScores, th),
+		})
+	}
+	return roc, nil
+}
+
+func fractionBelow(scores []float64, th float64) float64 {
+	n := 0
+	for _, s := range scores {
+		if s < th {
+			n++
+		}
+	}
+	return float64(n) / float64(len(scores))
+}
+
+// AUC computes the area under the ROC curve (TDR over FDR) by the
+// trapezoidal rule. 1.0 is a perfect detector; 0.5 is chance.
+func (r *ROC) AUC() float64 {
+	pts := make([]ROCPoint, len(r.Points))
+	copy(pts, r.Points)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].FDR != pts[j].FDR {
+			return pts[i].FDR < pts[j].FDR
+		}
+		return pts[i].TDR < pts[j].TDR
+	})
+	area := 0.0
+	prevF, prevT := 0.0, 0.0
+	for _, p := range pts {
+		area += (p.FDR - prevF) * (p.TDR + prevT) / 2
+		prevF, prevT = p.FDR, p.TDR
+	}
+	// Close the curve to (1, 1).
+	area += (1 - prevF) * (1 + prevT) / 2
+	return area
+}
+
+// EER returns the equal error rate: the error at the threshold where the
+// false detection rate equals the miss rate (1 - TDR), found by scanning
+// the curve for the minimum gap.
+func (r *ROC) EER() float64 {
+	best := 1.0
+	bestGap := 2.0
+	for _, p := range r.Points {
+		miss := 1 - p.TDR
+		gap := abs(p.FDR - miss)
+		if gap < bestGap {
+			bestGap = gap
+			best = (p.FDR + miss) / 2
+		}
+	}
+	return best
+}
+
+// EERThreshold returns the threshold at the equal-error operating point.
+func (r *ROC) EERThreshold() float64 {
+	bestTh := 0.0
+	bestGap := 2.0
+	for _, p := range r.Points {
+		gap := abs(p.FDR - (1 - p.TDR))
+		if gap < bestGap {
+			bestGap = gap
+			bestTh = p.Threshold
+		}
+	}
+	return bestTh
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Summary bundles the headline metrics of one experiment arm.
+type Summary struct {
+	// Name labels the arm (e.g. "our defense system").
+	Name string
+	// AUC and EER are the headline metrics of Figs. 9-10.
+	AUC, EER float64
+	// EERThreshold is the operating threshold at the equal-error point.
+	EERThreshold float64
+	// LegitCount and AttackCount are the dataset sizes.
+	LegitCount, AttackCount int
+}
+
+// Summarize computes the headline metrics from score sets.
+func Summarize(name string, legitScores, attackScores []float64) (Summary, error) {
+	roc, err := ComputeROC(legitScores, attackScores)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Name:         name,
+		AUC:          roc.AUC(),
+		EER:          roc.EER(),
+		EERThreshold: roc.EERThreshold(),
+		LegitCount:   len(legitScores),
+		AttackCount:  len(attackScores),
+	}, nil
+}

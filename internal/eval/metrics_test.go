@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeROCErrors(t *testing.T) {
+	if _, err := ComputeROC(nil, []float64{1}); err == nil {
+		t.Error("empty legit scores should error")
+	}
+	if _, err := ComputeROC([]float64{1}, nil); err == nil {
+		t.Error("empty attack scores should error")
+	}
+}
+
+func TestPerfectSeparation(t *testing.T) {
+	legit := []float64{0.8, 0.9, 0.95}
+	attacks := []float64{0.0, 0.1, 0.2}
+	roc, err := ComputeROC(legit, attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := roc.AUC(); math.Abs(auc-1) > 0.01 {
+		t.Errorf("AUC = %v, want ~1", auc)
+	}
+	if eer := roc.EER(); eer > 0.01 {
+		t.Errorf("EER = %v, want ~0", eer)
+	}
+	th := roc.EERThreshold()
+	if th <= 0.2 || th >= 0.8 {
+		t.Errorf("EER threshold = %v, want inside the gap", th)
+	}
+}
+
+func TestChanceLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	legit := make([]float64, 500)
+	attacks := make([]float64, 500)
+	for i := range legit {
+		legit[i] = rng.Float64()*2 - 1
+		attacks[i] = rng.Float64()*2 - 1
+	}
+	roc, err := ComputeROC(legit, attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := roc.AUC(); math.Abs(auc-0.5) > 0.06 {
+		t.Errorf("AUC = %v, want ~0.5 for identical distributions", auc)
+	}
+	if eer := roc.EER(); math.Abs(eer-0.5) > 0.06 {
+		t.Errorf("EER = %v, want ~0.5", eer)
+	}
+}
+
+func TestInvertedDetector(t *testing.T) {
+	// Attacks scoring HIGHER than legit: AUC below 0.5.
+	legit := []float64{0.1, 0.15, 0.2}
+	attacks := []float64{0.8, 0.85, 0.9}
+	roc, err := ComputeROC(legit, attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := roc.AUC(); auc > 0.1 {
+		t.Errorf("AUC = %v, want ~0 for inverted detector", auc)
+	}
+}
+
+// Property: AUC and EER are bounded, and the ROC is monotone in threshold.
+func TestROCProperties(t *testing.T) {
+	f := func(legitRaw, attackRaw []float64) bool {
+		if len(legitRaw) == 0 || len(attackRaw) == 0 {
+			return true
+		}
+		clamp := func(xs []float64) []float64 {
+			out := make([]float64, len(xs))
+			for i, v := range xs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
+				out[i] = math.Mod(v, 1)
+			}
+			return out
+		}
+		legit, attacks := clamp(legitRaw), clamp(attackRaw)
+		roc, err := ComputeROC(legit, attacks)
+		if err != nil {
+			return false
+		}
+		auc, eer := roc.AUC(), roc.EER()
+		if auc < -1e-9 || auc > 1+1e-9 || eer < -1e-9 || eer > 1+1e-9 {
+			return false
+		}
+		prevTDR, prevFDR := -1.0, -1.0
+		for _, p := range roc.Points {
+			if p.TDR < prevTDR || p.FDR < prevFDR {
+				return false // rates must be non-decreasing in threshold
+			}
+			prevTDR, prevFDR = p.TDR, p.FDR
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize("x", []float64{0.9, 0.8}, []float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "x" || s.LegitCount != 2 || s.AttackCount != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.AUC < 0.99 {
+		t.Errorf("AUC = %v", s.AUC)
+	}
+	if _, err := Summarize("x", nil, nil); err == nil {
+		t.Error("empty scores should error")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{0.1, 0.5, 0.9}
+	if f := fractionBelow(xs, 0.5); f != 1.0/3 {
+		t.Errorf("fractionBelow = %v", f)
+	}
+	if f := fractionBelow(xs, 2); f != 1 {
+		t.Errorf("fractionBelow above all = %v", f)
+	}
+	if f := fractionBelow(xs, -2); f != 0 {
+		t.Errorf("fractionBelow below all = %v", f)
+	}
+}

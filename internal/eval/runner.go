@@ -1,0 +1,269 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vibguard/internal/attack"
+	"vibguard/internal/core"
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+	"vibguard/internal/segment"
+	"vibguard/internal/sensing"
+)
+
+// SpanProvider yields effective-phoneme spans for a sample. The oracle
+// provider uses ground-truth alignments; the BRNN provider runs the
+// learned detector of Section V-B on the VA recording.
+type SpanProvider interface {
+	SpansFor(s *Sample) ([]segment.Span, error)
+}
+
+// OracleProvider derives spans from the sample's ground-truth alignment.
+type OracleProvider struct {
+	// Selected is the barrier-effect-sensitive phoneme set.
+	Selected map[string]bool
+}
+
+var _ SpanProvider = (*OracleProvider)(nil)
+
+// SpansFor returns the aligned selected-phoneme spans, shifted by the
+// recording's lead-in context.
+func (p *OracleProvider) SpansFor(s *Sample) ([]segment.Span, error) {
+	if s.Utterance == nil {
+		return nil, fmt.Errorf("eval: sample has no utterance for oracle spans")
+	}
+	spans := segment.OracleSpans(s.Utterance, p.Selected)
+	for i := range spans {
+		spans[i].Start += s.LeadSamples
+		spans[i].End += s.LeadSamples
+	}
+	return spans, nil
+}
+
+// BRNNProvider runs the trained phoneme detector on the VA recording.
+type BRNNProvider struct {
+	Detector *segment.Detector
+}
+
+var _ SpanProvider = (*BRNNProvider)(nil)
+
+// SpansFor detects effective phonemes in the VA recording.
+func (p *BRNNProvider) SpansFor(s *Sample) ([]segment.Span, error) {
+	frames, err := p.Detector.DetectFrames(s.VARec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Detector.Spans(frames), nil
+}
+
+// Dataset is a collection of labeled samples.
+type Dataset struct {
+	// Legit holds the legitimate (no attack) samples.
+	Legit []*Sample
+	// Attacks maps each attack kind to its samples.
+	Attacks map[attack.Kind][]*Sample
+}
+
+// DatasetConfig sizes a dataset build.
+type DatasetConfig struct {
+	// Participants in the voice pool (the paper recruits 20).
+	Participants int
+	// CommandsPerUser spoken by each legitimate participant.
+	CommandsPerUser int
+	// AttacksPerKind is the number of attack samples per attack type.
+	AttacksPerKind int
+	// Kinds restricts the attack kinds (nil means all four).
+	Kinds []attack.Kind
+	// Conditions to cycle through (nil means the default condition).
+	Conditions []Condition
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultDatasetConfig returns a medium-size configuration suitable for
+// the figure reproductions.
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{
+		Participants:    20,
+		CommandsPerUser: 5,
+		AttacksPerKind:  60,
+		Seed:            1,
+	}
+}
+
+// BuildDataset generates a dataset.
+func BuildDataset(cfg DatasetConfig) (*Dataset, error) {
+	if cfg.Participants < 2 || cfg.CommandsPerUser <= 0 || cfg.AttacksPerKind < 0 {
+		return nil, fmt.Errorf("eval: invalid dataset config %+v", cfg)
+	}
+	gen, err := NewGenerator(cfg.Participants, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	conditions := cfg.Conditions
+	if len(conditions) == 0 {
+		conditions = []Condition{DefaultCondition()}
+	}
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = attack.Kinds()
+	}
+	ds := &Dataset{Attacks: make(map[attack.Kind][]*Sample, len(kinds))}
+	condIdx := 0
+	nextCond := func() Condition {
+		c := conditions[condIdx%len(conditions)]
+		condIdx++
+		return c
+	}
+	for v := 0; v < cfg.Participants; v++ {
+		for c := 0; c < cfg.CommandsPerUser; c++ {
+			s, err := gen.Legit(v, v*cfg.CommandsPerUser+c, nextCond())
+			if err != nil {
+				return nil, err
+			}
+			ds.Legit = append(ds.Legit, s)
+		}
+	}
+	for _, kind := range kinds {
+		for i := 0; i < cfg.AttacksPerKind; i++ {
+			victim := i % cfg.Participants
+			s, err := gen.Attack(kind, victim, i, nextCond())
+			if err != nil {
+				return nil, err
+			}
+			ds.Attacks[kind] = append(ds.Attacks[kind], s)
+		}
+	}
+	return ds, nil
+}
+
+// switchSegmenter adapts a per-sample SpanProvider to the detector's
+// Segmenter interface; Scorer points it at the current sample before each
+// score call.
+type switchSegmenter struct {
+	provider SpanProvider
+	current  *Sample
+}
+
+var _ detector.Segmenter = (*switchSegmenter)(nil)
+
+func (s *switchSegmenter) EffectiveSpans([]float64) ([]segment.Span, error) {
+	if s.current == nil {
+		return nil, fmt.Errorf("eval: no current sample")
+	}
+	return s.provider.SpansFor(s.current)
+}
+
+// Scorer scores datasets with one detection method through the full
+// defense pipeline (synchronization included).
+type Scorer struct {
+	defense *core.Defense
+	sw      *switchSegmenter
+	rng     *rand.Rand
+}
+
+// NewScorer builds a scorer for one method. The provider is required for
+// MethodFull and ignored otherwise.
+func NewScorer(method detector.Method, w *device.Wearable, provider SpanProvider, seed int64) (*Scorer, error) {
+	sw := &switchSegmenter{provider: provider}
+	cfg := core.DefaultConfig(w, sw)
+	cfg.Method = method
+	defense, err := core.NewDefense(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scorer{defense: defense, sw: sw, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// NewScorerWithSensing builds a scorer whose vibration-domain sensing
+// configuration is modified by mutate (nil means defaults). Used by the
+// ablation benchmarks.
+func NewScorerWithSensing(method detector.Method, w *device.Wearable, provider SpanProvider, seed int64, mutate func(*sensing.Config)) (*Scorer, error) {
+	sw := &switchSegmenter{provider: provider}
+	cfg := core.DefaultConfig(w, sw)
+	cfg.Method = method
+	if mutate != nil {
+		mutate(&cfg.Sensing)
+	}
+	defense, err := core.NewDefense(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scorer{defense: defense, sw: sw, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// EvaluateWithoutSync scores the dataset with the Eq. (5) synchronization
+// disabled (zero maximum lag), quantifying how much the cross-correlation
+// alignment contributes: the wearable's 50-150 ms network-delay offset is
+// left in place.
+func EvaluateWithoutSync(ds *Dataset, attackSamples []*Sample, w *device.Wearable, provider SpanProvider, seed int64) (Summary, error) {
+	sw := &switchSegmenter{provider: provider}
+	cfg := core.DefaultConfig(w, sw)
+	cfg.MaxSyncLagSeconds = 0
+	defense, err := core.NewDefense(cfg)
+	if err != nil {
+		return Summary{}, err
+	}
+	sc := &Scorer{defense: defense, sw: sw, rng: rand.New(rand.NewSource(seed))}
+	legit, err := sc.ScoreAll(ds.Legit)
+	if err != nil {
+		return Summary{}, err
+	}
+	attacks, err := sc.ScoreAll(attackSamples)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summarize("no-sync ablation", legit, attacks)
+}
+
+// Score runs the pipeline on one sample.
+func (sc *Scorer) Score(s *Sample) (float64, error) {
+	sc.sw.current = s
+	return sc.defense.Score(s.VARec, s.WearRec, sc.rng)
+}
+
+// ScoreAll scores a slice of samples.
+func (sc *Scorer) ScoreAll(samples []*Sample) ([]float64, error) {
+	out := make([]float64, 0, len(samples))
+	for i, s := range samples {
+		score, err := sc.Score(s)
+		if err != nil {
+			return nil, fmt.Errorf("eval: sample %d: %w", i, err)
+		}
+		out = append(out, score)
+	}
+	return out, nil
+}
+
+// MethodArm names the three detector arms of every figure, in the order
+// the paper plots them.
+func MethodArms() []detector.Method {
+	return []detector.Method{detector.MethodAudio, detector.MethodVibration, detector.MethodFull}
+}
+
+// EvaluateArms scores the dataset's legit samples and the given attack
+// samples with all three methods and returns one summary per arm.
+func EvaluateArms(ds *Dataset, attackSamples []*Sample, w *device.Wearable, provider SpanProvider, seed int64) ([]Summary, error) {
+	summaries := make([]Summary, 0, 3)
+	for _, method := range MethodArms() {
+		sc, err := NewScorer(method, w, provider, seed)
+		if err != nil {
+			return nil, err
+		}
+		legit, err := sc.ScoreAll(ds.Legit)
+		if err != nil {
+			return nil, err
+		}
+		attacks, err := sc.ScoreAll(attackSamples)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Summarize(method.String(), legit, attacks)
+		if err != nil {
+			return nil, err
+		}
+		summaries = append(summaries, s)
+	}
+	return summaries, nil
+}

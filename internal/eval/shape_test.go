@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+
+	"vibguard/internal/attack"
+	"vibguard/internal/device"
+	"vibguard/internal/selection"
+)
+
+// TestHeadlineShape is the calibration regression guard: on a small but
+// condition-swept dataset, the reproduction must preserve the paper's
+// headline orderings — the full system detects every attack kind far
+// better than chance, and the audio-domain baseline is clearly the
+// weakest arm. It exists so future tuning of the physics cannot silently
+// break the result the repository is built to demonstrate.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swept dataset takes ~30s")
+	}
+	ds, err := BuildDataset(DatasetConfig{
+		Participants:    6,
+		CommandsPerUser: 3,
+		AttacksPerKind:  18,
+		Conditions:      StandardConditions(),
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := &OracleProvider{Selected: selection.CanonicalSelected()}
+	for _, kind := range attack.Kinds() {
+		sums, err := EvaluateArms(ds, ds.Attacks[kind], device.NewFossilGen5(), provider, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		audio, vib, full := sums[0], sums[1], sums[2]
+		// The full system must detect strongly (paper: <6% EER; we allow
+		// headroom for the small dataset).
+		if full.EER > 0.15 {
+			t.Errorf("%v: full system EER = %.1f%%, want <= 15%%", kind, full.EER*100)
+		}
+		if full.AUC < 0.9 {
+			t.Errorf("%v: full system AUC = %.3f, want >= 0.9", kind, full.AUC)
+		}
+		// The audio-domain baseline must be clearly the weakest arm.
+		if audio.EER < full.EER {
+			t.Errorf("%v: audio baseline EER %.1f%% beat the full system %.1f%%",
+				kind, audio.EER*100, full.EER*100)
+		}
+		if audio.EER < vib.EER {
+			t.Errorf("%v: audio baseline EER %.1f%% beat the vibration baseline %.1f%%",
+				kind, audio.EER*100, vib.EER*100)
+		}
+		// Every vibration-domain arm must beat chance decisively.
+		if vib.AUC < 0.85 {
+			t.Errorf("%v: vibration baseline AUC = %.3f", kind, vib.AUC)
+		}
+	}
+}
+
+// TestFullSystemVolumeStability guards Fig. 11a's shape: the full system's
+// EER must stay bounded across all three attack volumes.
+func TestFullSystemVolumeStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three swept datasets take ~60s")
+	}
+	cells, err := Figure11a(FigureConfig{Participants: 5, CommandsPerUser: 3, AttacksPerKind: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Method.String() == "our defense system" && c.EER > 0.2 {
+			t.Errorf("full system at %s: EER %.1f%%, want <= 20%%", c.Label, c.EER*100)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package phoneme
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vibguard/internal/dsp"
+)
+
+// Property: every phoneme synthesized by any plausible voice is finite,
+// non-silent, and has RMS proportional to its inventory intensity.
+func TestSynthesisPropertyAllVoices(t *testing.T) {
+	f := func(seedRaw int64, voiceIdx uint8) bool {
+		pool := NewVoicePool(6, seedRaw%1e6)
+		voice := pool[int(voiceIdx)%len(pool)]
+		synth, err := NewSynthesizer(voice)
+		if err != nil {
+			return false
+		}
+		for _, sym := range []string{"ae", "s", "t", "m", "er", "aa"} {
+			seg, err := synth.Phoneme(sym)
+			if err != nil {
+				return false
+			}
+			for _, v := range seg {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+			spec, err := Lookup(sym)
+			if err != nil {
+				return false
+			}
+			// The post-normalization edge fades shave a few percent off
+			// the RMS target.
+			want := 0.1 * spec.Intensity * voice.Loudness
+			if math.Abs(dsp.RMS(seg)-want) > want*0.08 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: utterance alignments tile the non-pause audio exactly.
+func TestAlignmentTilingProperty(t *testing.T) {
+	f := func(seedRaw int64, cmdIdx uint8) bool {
+		pool := NewVoicePool(2, seedRaw%1e6)
+		synth, err := NewSynthesizer(pool[0])
+		if err != nil {
+			return false
+		}
+		cmd := Commands()[int(cmdIdx)%len(Commands())]
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return false
+		}
+		// Segments are ordered, non-overlapping, within bounds, and the
+		// total segment length plus pauses equals the utterance length.
+		prevEnd := 0
+		segTotal := 0
+		for _, seg := range utt.Alignment {
+			if seg.Start < prevEnd || seg.End <= seg.Start || seg.End > len(utt.Samples) {
+				return false
+			}
+			segTotal += seg.Duration()
+			prevEnd = seg.End
+		}
+		pauses := 0
+		for _, p := range cmd.Phonemes {
+			if p == Pause {
+				pauses++
+			}
+		}
+		return segTotal+pauses*int(pauseDuration*SampleRate) == len(utt.Samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: brighter voices have relatively more high-frequency energy.
+func TestBrightnessMonotonicity(t *testing.T) {
+	base := VoiceProfile{Name: "B", Sex: Male, F0: 120, FormantScale: 1.0,
+		Loudness: 1.0, Jitter: 0.0, Seed: 1, Brightness: 0.4}
+	bright := base
+	bright.Brightness = 1.2
+	ratioOf := func(p VoiceProfile) float64 {
+		synth, err := NewSynthesizer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := synth.PhonemeDur("ae", 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := dsp.PowerSpectrum(seg)
+		lo, hi := 0.0, 0.0
+		for k := range spec {
+			f := dsp.BinFrequency(k, len(seg), SampleRate)
+			switch {
+			case f > 100 && f <= 1000:
+				lo += spec[k]
+			case f > 1000 && f <= 4000:
+				hi += spec[k]
+			}
+		}
+		return hi / lo
+	}
+	if ratioOf(bright) <= ratioOf(base) {
+		t.Error("brightness did not raise high-frequency fraction")
+	}
+}
+
+// Property: formant scale shifts spectral energy upward.
+func TestFormantScaleShiftsSpectrum(t *testing.T) {
+	low := VoiceProfile{Name: "L", Sex: Male, F0: 120, FormantScale: 0.94,
+		Loudness: 1.0, Jitter: 0.0, Seed: 1, Brightness: 1.0}
+	high := low
+	high.FormantScale = 1.2
+	centroid := func(p VoiceProfile) float64 {
+		synth, err := NewSynthesizer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := synth.PhonemeDur("ae", 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := dsp.PowerSpectrum(seg)
+		num, den := 0.0, 0.0
+		for k := range spec {
+			f := dsp.BinFrequency(k, len(seg), SampleRate)
+			if f > 3000 {
+				break
+			}
+			num += f * spec[k]
+			den += spec[k]
+		}
+		return num / den
+	}
+	if centroid(high) <= centroid(low) {
+		t.Error("higher formant scale did not raise the spectral centroid")
+	}
+}

@@ -1,0 +1,320 @@
+package phoneme
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vibguard/internal/dsp"
+)
+
+// refRMS is the target RMS amplitude of a reference vowel (Intensity 1.0,
+// Loudness 1.0). It corresponds to roughly 74 dB SPL under the package's
+// 94 dB = 1.0 calibration, a typical close-talking conversational level.
+const refRMS = 0.1
+
+// Synthesizer produces phoneme and command waveforms for one speaker using
+// a classic source-filter model: a Rosenberg glottal pulse train (voiced
+// source) and band-filtered noise (frication source) shaped by cascaded
+// formant resonators.
+type Synthesizer struct {
+	profile VoiceProfile
+	rng     *rand.Rand
+}
+
+// NewSynthesizer creates a synthesizer for the given voice profile.
+func NewSynthesizer(profile VoiceProfile) (*Synthesizer, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	return &Synthesizer{
+		profile: profile,
+		rng:     rand.New(rand.NewSource(profile.Seed)),
+	}, nil
+}
+
+// Profile returns the synthesizer's voice profile.
+func (s *Synthesizer) Profile() VoiceProfile { return s.profile }
+
+// Phoneme synthesizes one phoneme at its typical duration.
+func (s *Synthesizer) Phoneme(symbol string) ([]float64, error) {
+	spec, err := Lookup(symbol)
+	if err != nil {
+		return nil, err
+	}
+	return s.synthesize(spec, spec.Duration), nil
+}
+
+// PhonemeDur synthesizes one phoneme with an explicit duration in seconds.
+func (s *Synthesizer) PhonemeDur(symbol string, duration float64) ([]float64, error) {
+	spec, err := Lookup(symbol)
+	if err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("synth: duration %v must be positive", duration)
+	}
+	return s.synthesize(spec, duration), nil
+}
+
+func (s *Synthesizer) synthesize(spec *Spec, duration float64) []float64 {
+	n := int(duration * SampleRate)
+	if n < 16 {
+		n = 16
+	}
+	var out []float64
+	switch spec.Class {
+	case ClassVowel, ClassSemivowel:
+		out = s.voicedSegmentTilt(n, spec.Formants, spec.Formants, spec.TiltBoost)
+	case ClassDiphthong:
+		out = s.voicedSegment(n, spec.Formants, spec.FormantsEnd)
+	case ClassNasal:
+		out = s.nasalSegment(n, spec.Formants)
+	case ClassFricativeVoiced:
+		voiced := s.voicedSegment(n, spec.Formants, spec.Formants)
+		noise := s.noiseBand(n, spec.NoiseCenter, spec.NoiseWidth)
+		out = dsp.Mix(dsp.Scale(voiced, 0.5), dsp.Scale(noise, 0.8))
+	case ClassFricativeUnvoiced, ClassAspirate:
+		out = s.noiseBand(n, spec.NoiseCenter, spec.NoiseWidth)
+	case ClassStopUnvoiced:
+		out = s.stopSegment(n, spec, false)
+	case ClassStopVoiced:
+		out = s.stopSegment(n, spec, true)
+	case ClassAffricate:
+		out = s.affricateSegment(n, spec)
+	default:
+		out = make([]float64, n)
+	}
+	// Post-normalize so relative phoneme intensities are controlled by the
+	// inventory table rather than by incidental filter gains.
+	target := refRMS * spec.Intensity * s.profile.Loudness
+	normalized, err := dsp.NormalizeRMS(out, target)
+	if err != nil {
+		// Unreachable: target is always non-negative.
+		return out
+	}
+	return dsp.FadeEdges(normalized, len(normalized)/16)
+}
+
+// voicedSegment generates a glottal pulse train filtered by a cascade of
+// formant resonators. Formant frequencies glide linearly from start to end
+// (identical arrays give a monophthong).
+func (s *Synthesizer) voicedSegment(n int, start, end [3]float64) []float64 {
+	return s.voicedSegmentTilt(n, start, end, 0)
+}
+
+// voicedSegmentTilt is voicedSegment with a spectral tilt boost: loud
+// pressed vowels have stronger F2/F3 relative to F1.
+func (s *Synthesizer) voicedSegmentTilt(n int, start, end [3]float64, tiltBoost float64) []float64 {
+	src := s.glottalSource(n)
+	amps := formantAmplitudes
+	if tiltBoost > 0 {
+		amps[1] *= 1 + tiltBoost
+		amps[2] *= 1 + tiltBoost
+	}
+	if b := s.profile.Brightness; b > 0 {
+		amps[1] *= b
+		amps[2] *= b
+	}
+	return s.formantFilterAmps(src, start, end, amps)
+}
+
+func (s *Synthesizer) nasalSegment(n int, formants [3]float64) []float64 {
+	seg := s.voicedSegment(n, formants, formants)
+	// Nasal murmur: strong low resonance, moderately damped higher
+	// formants (the oral anti-resonance removes some but not all
+	// high-frequency energy).
+	return dsp.FrequencyShape(seg, SampleRate, func(f float64) float64 {
+		switch {
+		case f < 500:
+			return 0.6
+		case f < 2500:
+			return 1
+		default:
+			return 0.6
+		}
+	})
+}
+
+func (s *Synthesizer) stopSegment(n int, spec *Spec, voiced bool) []float64 {
+	closure := n * 3 / 10
+	burstLen := int(0.01 * SampleRate)
+	if closure+burstLen > n {
+		burstLen = n - closure
+	}
+	tail := n - closure - burstLen
+	out := make([]float64, 0, n)
+	// Closure: silence, or a low-frequency voice bar for voiced stops.
+	if voiced {
+		bar := dsp.Tone(s.profile.F0, 0.3, float64(closure)/SampleRate, SampleRate)
+		out = append(out, bar...)
+	} else {
+		out = append(out, make([]float64, closure)...)
+	}
+	// Release burst: a short noise click in the stop's burst band.
+	burst := s.noiseBand(burstLen, spec.NoiseCenter, spec.NoiseWidth)
+	out = append(out, dsp.Scale(burst, 2.0)...)
+	// Aspiration (unvoiced) or voiced transition.
+	if tail > 0 {
+		if voiced {
+			out = append(out, dsp.Scale(s.voicedSegment(tail, spec.Formants, spec.Formants), 0.8)...)
+		} else {
+			out = append(out, dsp.Scale(s.noiseBand(tail, spec.NoiseCenter, spec.NoiseWidth*1.5), 0.4)...)
+		}
+	}
+	return out
+}
+
+func (s *Synthesizer) affricateSegment(n int, spec *Spec) []float64 {
+	closure := n / 5
+	burstLen := int(0.008 * SampleRate)
+	if closure+burstLen > n {
+		burstLen = n - closure
+	}
+	fricLen := n - closure - burstLen
+	out := make([]float64, 0, n)
+	out = append(out, make([]float64, closure)...)
+	out = append(out, dsp.Scale(s.noiseBand(burstLen, spec.NoiseCenter, spec.NoiseWidth), 1.8)...)
+	if fricLen > 0 {
+		fric := s.noiseBand(fricLen, spec.NoiseCenter, spec.NoiseWidth)
+		if spec.Voiced() {
+			voiced := s.voicedSegment(fricLen, spec.Formants, spec.Formants)
+			fric = dsp.Mix(dsp.Scale(fric, 0.7), dsp.Scale(voiced, 0.5))
+		}
+		out = append(out, fric...)
+	}
+	return out
+}
+
+// glottalSource generates a Rosenberg-pulse train at the speaker's F0 with
+// cycle-to-cycle jitter.
+func (s *Synthesizer) glottalSource(n int) []float64 {
+	out := make([]float64, n)
+	pos := 0
+	for pos < n {
+		f0 := s.profile.F0 * (1 + s.profile.Jitter*s.rng.NormFloat64())
+		if f0 < 40 {
+			f0 = 40
+		}
+		period := int(SampleRate / f0)
+		if period < 8 {
+			period = 8
+		}
+		// Rosenberg pulse: opening phase 40% of the period, closing 20%.
+		open := period * 2 / 5
+		closing := period / 5
+		for i := 0; i < period && pos+i < n; i++ {
+			var v float64
+			switch {
+			case i < open:
+				v = 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(open)))
+			case i < open+closing:
+				v = math.Cos(math.Pi * float64(i-open) / (2 * float64(closing)))
+			}
+			out[pos+i] = v
+		}
+		pos += period
+	}
+	// Remove the DC offset of the pulse train and apply spectral tilt by
+	// differentiation (radiation characteristic).
+	diff := make([]float64, n)
+	prev := 0.0
+	for i, v := range out {
+		diff[i] = v - prev
+		prev = v
+	}
+	return diff
+}
+
+// formantAmplitudes are the relative peak amplitudes of F1..F3 in the
+// parallel formant bank. They set the spectral balance of voiced sounds:
+// F1 dominates, with F2/F3 10-14 dB below, matching typical vowel spectra.
+var formantAmplitudes = [3]float64{1.0, 0.6, 0.28}
+
+// formantFilter runs x through a parallel bank of three time-varying
+// two-pole resonators whose center frequencies glide from start to end.
+// Each resonator's output is normalized to its analytic center-frequency
+// gain so formant amplitudes are controlled by formantAmplitudes rather
+// than by incidental filter gains.
+func (s *Synthesizer) formantFilter(x []float64, start, end [3]float64) []float64 {
+	return s.formantFilterAmps(x, start, end, formantAmplitudes)
+}
+
+// formantFilterAmps is formantFilter with explicit formant amplitudes.
+func (s *Synthesizer) formantFilterAmps(x []float64, start, end [3]float64, amps [3]float64) []float64 {
+	const blockSize = 64
+	bandwidths := [3]float64{80, 110, 160}
+	sum := make([]float64, len(x))
+	for fIdx := 0; fIdx < 3; fIdx++ {
+		if start[fIdx] <= 0 {
+			continue
+		}
+		var y1, y2 float64
+		for blockStart := 0; blockStart < len(x); blockStart += blockSize {
+			blockEnd := blockStart + blockSize
+			if blockEnd > len(x) {
+				blockEnd = len(x)
+			}
+			frac := float64(blockStart) / float64(len(x))
+			endF := end[fIdx]
+			if endF <= 0 {
+				endF = start[fIdx]
+			}
+			freq := (start[fIdx] + (endF-start[fIdx])*frac) * s.profile.FormantScale
+			if freq > SampleRate/2*0.95 {
+				freq = SampleRate / 2 * 0.95
+			}
+			r := math.Exp(-math.Pi * bandwidths[fIdx] / SampleRate)
+			w := 2 * math.Pi * freq / SampleRate
+			b1 := 2 * r * math.Cos(w)
+			b2 := -r * r
+			a := 1 - b1 - b2
+			// Analytic gain of the resonator at its center frequency.
+			denRe := 1 - b1*math.Cos(w) - b2*math.Cos(2*w)
+			denIm := b1*math.Sin(w) + b2*math.Sin(2*w)
+			centerGain := math.Abs(a) / math.Hypot(denRe, denIm)
+			if centerGain == 0 {
+				centerGain = 1
+			}
+			scale := amps[fIdx] / centerGain
+			for i := blockStart; i < blockEnd; i++ {
+				y := a*x[i] + b1*y1 + b2*y2
+				y2, y1 = y1, y
+				sum[i] += scale * y
+			}
+		}
+	}
+	return sum
+}
+
+// noiseBand generates white noise band-passed around center with the given
+// width.
+func (s *Synthesizer) noiseBand(n int, center, width float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = s.rng.NormFloat64()
+	}
+	if center <= 0 {
+		return noise
+	}
+	lo := center - width/2
+	hi := center + width/2
+	if lo < 50 {
+		lo = 50
+	}
+	nyq := SampleRate/2 - 50
+	if hi > nyq {
+		hi = nyq
+	}
+	return dsp.FrequencyShape(noise, SampleRate, func(f float64) float64 {
+		if f >= lo && f <= hi {
+			return 1
+		}
+		// Gentle skirts so the band edges are not brick-wall.
+		d := math.Min(math.Abs(f-lo), math.Abs(f-hi))
+		return math.Exp(-d / 300)
+	})
+}

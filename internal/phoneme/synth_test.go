@@ -1,0 +1,302 @@
+package phoneme
+
+import (
+	"math"
+	"testing"
+
+	"vibguard/internal/dsp"
+)
+
+func testProfile() VoiceProfile {
+	return VoiceProfile{
+		Name: "T01", Sex: Male, F0: 120, FormantScale: 1.0,
+		Loudness: 1.0, Jitter: 0.01, Seed: 42,
+	}
+}
+
+func TestNewSynthesizerValidation(t *testing.T) {
+	bad := testProfile()
+	bad.F0 = 10
+	if _, err := NewSynthesizer(bad); err == nil {
+		t.Error("invalid F0 should error")
+	}
+	bad = testProfile()
+	bad.FormantScale = 3
+	if _, err := NewSynthesizer(bad); err == nil {
+		t.Error("invalid formant scale should error")
+	}
+	bad = testProfile()
+	bad.Loudness = 0
+	if _, err := NewSynthesizer(bad); err == nil {
+		t.Error("zero loudness should error")
+	}
+	bad = testProfile()
+	bad.Jitter = 0.5
+	if _, err := NewSynthesizer(bad); err == nil {
+		t.Error("excessive jitter should error")
+	}
+	if _, err := NewSynthesizer(testProfile()); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestSynthesizeAllPhonemes(t *testing.T) {
+	s, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range All() {
+		seg, err := s.Phoneme(spec.Symbol)
+		if err != nil {
+			t.Errorf("%q: %v", spec.Symbol, err)
+			continue
+		}
+		if len(seg) == 0 {
+			t.Errorf("%q: empty segment", spec.Symbol)
+			continue
+		}
+		rms := dsp.RMS(seg)
+		if rms <= 0 {
+			t.Errorf("%q: silent segment", spec.Symbol)
+		}
+		for i, v := range seg {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%q: non-finite sample at %d", spec.Symbol, i)
+				break
+			}
+		}
+	}
+}
+
+func TestSynthesizeIntensityOrdering(t *testing.T) {
+	s, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmsOf := func(sym string) float64 {
+		seg, err := s.Phoneme(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dsp.RMS(seg)
+	}
+	// Strong vowels must be much louder than weak fricatives.
+	if rmsOf("aa") < 5*rmsOf("s") {
+		t.Errorf("aa RMS %v not >> s RMS %v", rmsOf("aa"), rmsOf("s"))
+	}
+	if rmsOf("ao") < 5*rmsOf("z") {
+		t.Errorf("ao RMS %v not >> z RMS %v", rmsOf("ao"), rmsOf("z"))
+	}
+}
+
+func TestVowelFormantStructure(t *testing.T) {
+	s, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := s.PhonemeDur("ae", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dsp.MagnitudeSpectrum(seg)
+	n := len(seg)
+	bandEnergy := func(lo, hi float64) float64 {
+		sum := 0.0
+		for k := dsp.FrequencyBin(lo, n, SampleRate); k <= dsp.FrequencyBin(hi, n, SampleRate); k++ {
+			sum += spec[k] * spec[k]
+		}
+		return sum
+	}
+	// /ae/ has F1=660: energy near F1 should dominate energy far above F3.
+	nearF1 := bandEnergy(500, 900)
+	above := bandEnergy(4000, 6000)
+	if nearF1 < 10*above {
+		t.Errorf("F1 band energy %v not dominant over 4-6kHz %v", nearF1, above)
+	}
+}
+
+func TestFricativeHighFrequencyEnergy(t *testing.T) {
+	s, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := s.PhonemeDur("s", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dsp.MagnitudeSpectrum(seg)
+	n := len(seg)
+	bandEnergy := func(lo, hi float64) float64 {
+		sum := 0.0
+		for k := dsp.FrequencyBin(lo, n, SampleRate); k <= dsp.FrequencyBin(hi, n, SampleRate); k++ {
+			sum += spec[k] * spec[k]
+		}
+		return sum
+	}
+	// /s/ noise centered at 6kHz: high band should dominate low band.
+	high := bandEnergy(5000, 7000)
+	low := bandEnergy(100, 1000)
+	if high < 5*low {
+		t.Errorf("/s/ high-band %v not dominant over low-band %v", high, low)
+	}
+}
+
+func TestVoicedPhonemeHasF0Harmonics(t *testing.T) {
+	p := testProfile()
+	p.Jitter = 0 // clean harmonics for measurement
+	s, err := NewSynthesizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := s.PhonemeDur("aa", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dsp.MagnitudeSpectrum(seg)
+	n := len(seg)
+	// Peak near F0 (120Hz) or its low harmonics should be strong relative
+	// to inter-harmonic valleys.
+	f0Bin := dsp.FrequencyBin(120, n, SampleRate)
+	valleyBin := dsp.FrequencyBin(180, n, SampleRate)
+	peak := 0.0
+	for k := f0Bin - 2; k <= f0Bin+2; k++ {
+		if spec[k] > peak {
+			peak = spec[k]
+		}
+	}
+	valley := spec[valleyBin]
+	if peak < 2*valley {
+		t.Errorf("F0 peak %v vs valley %v: no harmonic structure", peak, valley)
+	}
+}
+
+func TestDiphthongFormantGlide(t *testing.T) {
+	p := testProfile()
+	s, err := NewSynthesizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /ay/ glides F2 from 1090 to 1990.
+	seg, err := s.PhonemeDur("ay", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := len(seg) / 3
+	early := seg[:third]
+	late := seg[2*third:]
+	// Ratio of energy near the F2 target (1990Hz) to energy near the F2
+	// origin (1090Hz) must grow as the glide progresses.
+	f2Ratio := func(x []float64) float64 {
+		spec := dsp.MagnitudeSpectrum(x)
+		band := func(lo, hi float64) float64 {
+			sum := 0.0
+			for k := dsp.FrequencyBin(lo, len(x), SampleRate); k <= dsp.FrequencyBin(hi, len(x), SampleRate); k++ {
+				sum += spec[k] * spec[k]
+			}
+			return sum
+		}
+		origin := band(900, 1300)
+		target := band(1700, 2300)
+		if origin == 0 {
+			return 0
+		}
+		return target / origin
+	}
+	if f2Ratio(late) <= f2Ratio(early) {
+		t.Errorf("diphthong F2 did not glide up: early ratio %v, late ratio %v", f2Ratio(early), f2Ratio(late))
+	}
+}
+
+func TestStopHasClosureSilence(t *testing.T) {
+	s, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := s.PhonemeDur("t", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First ~25% (closure) should be much quieter than the burst region.
+	closure := dsp.RMS(seg[:len(seg)/5])
+	rest := dsp.RMS(seg[len(seg)/4:])
+	if closure > rest*0.3 {
+		t.Errorf("closure RMS %v not quiet vs rest %v", closure, rest)
+	}
+}
+
+func TestSynthesizerDeterministicPerSeed(t *testing.T) {
+	a, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	segA, _ := a.Phoneme("ae")
+	segB, _ := b.Phoneme("ae")
+	if len(segA) != len(segB) {
+		t.Fatal("lengths differ")
+	}
+	for i := range segA {
+		if segA[i] != segB[i] {
+			t.Fatal("same seed produced different audio")
+		}
+	}
+}
+
+func TestPhonemeDurErrors(t *testing.T) {
+	s, err := NewSynthesizer(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PhonemeDur("ae", 0); err == nil {
+		t.Error("zero duration should error")
+	}
+	if _, err := s.PhonemeDur("nope", 0.1); err == nil {
+		t.Error("unknown phoneme should error")
+	}
+}
+
+func TestNewVoicePool(t *testing.T) {
+	pool := NewVoicePool(20, 1)
+	if len(pool) != 20 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	males, females := 0, 0
+	for _, p := range pool {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		switch p.Sex {
+		case Male:
+			males++
+			if p.F0 > 160 {
+				t.Errorf("male %s F0 %v too high", p.Name, p.F0)
+			}
+		case Female:
+			females++
+			if p.F0 < 160 {
+				t.Errorf("female %s F0 %v too low", p.Name, p.F0)
+			}
+		}
+	}
+	if males != 10 || females != 10 {
+		t.Errorf("males %d females %d, want 10/10", males, females)
+	}
+	// Deterministic.
+	pool2 := NewVoicePool(20, 1)
+	if pool[3].F0 != pool2[3].F0 {
+		t.Error("pool not deterministic for same seed")
+	}
+	pool3 := NewVoicePool(20, 2)
+	if pool[3].F0 == pool3[3].F0 {
+		t.Error("different seeds produced identical profiles")
+	}
+}
+
+func TestSexString(t *testing.T) {
+	if Male.String() != "male" || Female.String() != "female" || Sex(0).String() != "unknown" {
+		t.Error("Sex.String() mismatch")
+	}
+}

@@ -1,0 +1,120 @@
+package phoneme
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sex of a simulated speaker; it shifts the fundamental frequency and the
+// formant scale.
+type Sex int
+
+// Speaker sexes.
+const (
+	Male Sex = iota + 1
+	Female
+)
+
+// String returns "male" or "female".
+func (s Sex) String() string {
+	switch s {
+	case Male:
+		return "male"
+	case Female:
+		return "female"
+	default:
+		return "unknown"
+	}
+}
+
+// VoiceProfile parameterizes one simulated speaker. Profiles drive the
+// synthesizer so that different "participants" produce acoustically
+// distinct versions of the same command, which is what makes the random
+// attack (another speaker's voice) differ from the legitimate user.
+type VoiceProfile struct {
+	// Name identifies the speaker, e.g. "P03".
+	Name string
+	// Sex selects the base voice register.
+	Sex Sex
+	// F0 is the fundamental frequency in Hz (male ~85-155, female ~165-255).
+	F0 float64
+	// FormantScale multiplies all formant frequencies (shorter vocal
+	// tracts shift formants up; ~1.0 male, ~1.15 female).
+	FormantScale float64
+	// Loudness multiplies the overall amplitude (speaker-dependent).
+	Loudness float64
+	// Jitter is the relative cycle-to-cycle F0 perturbation (~0.5-2%).
+	Jitter float64
+	// Brightness scales the F2/F3 formant amplitudes: some speakers have
+	// inherently dark voices with little high-frequency energy (the very
+	// voices that defeat audio-domain high-frequency checks, Section I),
+	// others bright ones. 1.0 is neutral.
+	Brightness float64
+	// Seed makes the speaker's random articulation reproducible.
+	Seed int64
+}
+
+// NewVoicePool deterministically generates n voice profiles, alternating
+// male and female, from the given seed. It mirrors the paper's participant
+// pool (20 recruited participants): voices span the full brightness range,
+// including the dark voices with little inherent high-frequency energy
+// that defeat audio-domain checks (Section I).
+func NewVoicePool(n int, seed int64) []VoiceProfile {
+	return newPool(n, seed, 0.3, 1.25)
+}
+
+// NewStudioVoicePool generates speakers with the brighter, close-mic
+// spectral balance of a studio-recorded corpus such as TIMIT; the offline
+// phoneme-selection study and the phoneme-detector training use this pool.
+func NewStudioVoicePool(n int, seed int64) []VoiceProfile {
+	return newPool(n, seed, 0.85, 1.25)
+}
+
+func newPool(n int, seed int64, brightLo, brightHi float64) []VoiceProfile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]VoiceProfile, 0, n)
+	for i := 0; i < n; i++ {
+		sex := Male
+		if i%2 == 1 {
+			sex = Female
+		}
+		p := VoiceProfile{
+			Name: fmt.Sprintf("P%02d", i+1),
+			Sex:  sex,
+			Seed: rng.Int63(),
+		}
+		switch sex {
+		case Female:
+			p.F0 = 165 + rng.Float64()*90
+			p.FormantScale = 1.10 + rng.Float64()*0.12
+		default:
+			p.F0 = 85 + rng.Float64()*70
+			p.FormantScale = 0.94 + rng.Float64()*0.12
+		}
+		p.Loudness = 0.85 + rng.Float64()*0.3
+		p.Jitter = 0.015 + rng.Float64()*0.02
+		p.Brightness = brightLo + rng.Float64()*(brightHi-brightLo)
+		out = append(out, p)
+	}
+	return out
+}
+
+// Validate reports whether the profile parameters are physically plausible.
+func (p *VoiceProfile) Validate() error {
+	if p.F0 < 50 || p.F0 > 500 {
+		return fmt.Errorf("voice %s: F0 %vHz outside [50, 500]", p.Name, p.F0)
+	}
+	if p.FormantScale < 0.7 || p.FormantScale > 1.5 {
+		return fmt.Errorf("voice %s: formant scale %v outside [0.7, 1.5]", p.Name, p.FormantScale)
+	}
+	if p.Loudness <= 0 {
+		return fmt.Errorf("voice %s: loudness %v must be positive", p.Name, p.Loudness)
+	}
+	if p.Jitter < 0 || p.Jitter > 0.1 {
+		return fmt.Errorf("voice %s: jitter %v outside [0, 0.1]", p.Name, p.Jitter)
+	}
+	if p.Brightness < 0 {
+		return fmt.Errorf("voice %s: brightness %v must be non-negative", p.Name, p.Brightness)
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package segment
+
+import (
+	"bytes"
+	"testing"
+
+	"vibguard/internal/brnn"
+	"vibguard/internal/phoneme"
+	"vibguard/internal/selection"
+)
+
+// smallModelCfg keeps tests fast.
+func smallModelCfg() brnn.Config {
+	return brnn.Config{InputDim: 14, HiddenDim: 16, NumClasses: 2, Seed: 1}
+}
+
+func trainingUtterances(t *testing.T, numVoices, numCommands int) []*phoneme.Utterance {
+	t.Helper()
+	voices := phoneme.NewVoicePool(numVoices, 5)
+	cmds := phoneme.Commands()
+	if numCommands > len(cmds) {
+		numCommands = len(cmds)
+	}
+	var utts []*phoneme.Utterance
+	for _, v := range voices {
+		synth, err := phoneme.NewSynthesizer(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cmd := range cmds[:numCommands] {
+			u, err := synth.Synthesize(cmd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			utts = append(utts, u)
+		}
+	}
+	return utts
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	sel := selection.CanonicalSelected()
+	if _, err := NewDetector(nil, smallModelCfg()); err == nil {
+		t.Error("empty selected set should error")
+	}
+	bad := smallModelCfg()
+	bad.InputDim = 10
+	if _, err := NewDetector(sel, bad); err == nil {
+		t.Error("mismatched input dim should error")
+	}
+	bad = smallModelCfg()
+	bad.NumClasses = 3
+	if _, err := NewDetector(sel, bad); err == nil {
+		t.Error("non-binary classes should error")
+	}
+	d, err := NewDetector(sel, smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Selected("er") || d.Selected("s") {
+		t.Error("selected set membership wrong")
+	}
+}
+
+func TestBuildSequenceLabels(t *testing.T) {
+	sel := selection.CanonicalSelected()
+	d, err := NewDetector(sel, smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := phoneme.NewSynthesizer(phoneme.NewVoicePool(1, 3)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "stop the music": /s/ frames must be labeled 0, vowels 1.
+	utt, err := synth.Synthesize(phoneme.Commands()[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := d.BuildSequence(utt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Inputs) != len(seq.Labels) {
+		t.Fatal("inputs/labels length mismatch")
+	}
+	ones, zeros := 0, 0
+	for _, l := range seq.Labels {
+		switch l {
+		case 1:
+			ones++
+		case 0:
+			zeros++
+		default:
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	if ones == 0 || zeros == 0 {
+		t.Errorf("labels degenerate: %d ones, %d zeros", ones, zeros)
+	}
+	// Frames inside the /s/ segment must be 0.
+	var sSeg phoneme.Segment
+	for _, seg := range utt.Alignment {
+		if seg.Symbol == "s" {
+			sSeg = seg
+			break
+		}
+	}
+	if sSeg.End == 0 {
+		t.Fatal("no /s/ segment found")
+	}
+	for tIdx := range seq.Labels {
+		center := tIdx*160 + 200
+		if center >= sSeg.Start && center < sSeg.End && seq.Labels[tIdx] != 0 {
+			t.Errorf("frame %d inside /s/ labeled 1", tIdx)
+		}
+	}
+}
+
+func TestTrainAndDetect(t *testing.T) {
+	sel := selection.CanonicalSelected()
+	d, err := NewDetector(sel, smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := trainingUtterances(t, 2, 6)
+	losses, err := d.Train(train, brnn.TrainConfig{Epochs: 4, LearningRate: 0.01, ClipNorm: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("loss did not decrease: %v", losses)
+	}
+	acc, err := d.FrameAccuracy(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.82 {
+		t.Errorf("training accuracy = %v, want >= 0.82", acc)
+	}
+	// Detection produces sensible spans on a held-out voice.
+	heldOut := phoneme.NewVoicePool(4, 99)[3]
+	synth, err := phoneme.NewSynthesizer(heldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(phoneme.Commands()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	extracted, spans, err := d.ExtractEffective(utt.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 || len(extracted) == 0 {
+		t.Fatal("no effective audio detected")
+	}
+	// Extracted audio must be shorter than the utterance (something was
+	// rejected) but a substantial fraction of it.
+	if len(extracted) >= len(utt.Samples) {
+		t.Error("extraction did not reject anything")
+	}
+	if len(extracted) < len(utt.Samples)/8 {
+		t.Errorf("extraction too aggressive: %d of %d samples", len(extracted), len(utt.Samples))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Train(nil, brnn.DefaultTrainConfig()); err == nil {
+		t.Error("empty training set should error")
+	}
+	short := &phoneme.Utterance{Samples: make([]float64, 10)}
+	if _, err := d.Train([]*phoneme.Utterance{short}, brnn.DefaultTrainConfig()); err == nil {
+		t.Error("too-short utterance should error")
+	}
+}
+
+func TestSpansMergesFrames(t *testing.T) {
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []bool{false, true, true, true, false, false, true, false}
+	spans := d.Spans(frames)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	// Frames 1-3: start 160, end 3*160+400 = 880.
+	if spans[0].Start != 160 || spans[0].End != 880 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Start != 6*160 || spans[1].End != 6*160+400 {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+	if spans[0].Len() != 720 {
+		t.Errorf("span len = %d", spans[0].Len())
+	}
+	// All-false and empty inputs.
+	if got := d.Spans([]bool{false, false}); got != nil {
+		t.Errorf("all-false spans = %v", got)
+	}
+	if got := d.Spans(nil); got != nil {
+		t.Errorf("nil spans = %v", got)
+	}
+}
+
+func TestMedianSmooth(t *testing.T) {
+	in := []bool{true, false, true, true, true, false, false}
+	out := medianSmooth(in, 1)
+	// The isolated false at index 1 flips to true.
+	if !out[1] {
+		t.Error("isolated flicker not smoothed")
+	}
+	if out[6] {
+		t.Error("trailing false should stay false")
+	}
+	if got := medianSmooth(nil, 1); len(got) != 0 {
+		t.Error("empty input")
+	}
+	same := medianSmooth(in, 0)
+	for i := range in {
+		if same[i] != in[i] {
+			t.Error("radius 0 should be identity")
+		}
+	}
+}
+
+func TestExtractSpansClamping(t *testing.T) {
+	audio := make([]float64, 100)
+	for i := range audio {
+		audio[i] = float64(i)
+	}
+	out := ExtractSpans(audio, []Span{{Start: -10, End: 5}, {Start: 95, End: 300}, {Start: 50, End: 40}})
+	if len(out) != 10 {
+		t.Errorf("extracted %d samples, want 10", len(out))
+	}
+	if out[0] != 0 || out[5] != 95 {
+		t.Errorf("extracted values wrong: %v", out)
+	}
+}
+
+func TestOracleSpans(t *testing.T) {
+	synth, err := phoneme.NewSynthesizer(phoneme.NewVoicePool(1, 3)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "stop the music" contains /s/ (excluded) and vowels (selected).
+	utt, err := synth.Synthesize(phoneme.Commands()[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := selection.CanonicalSelected()
+	spans := OracleSpans(utt, sel)
+	if len(spans) == 0 {
+		t.Fatal("no oracle spans")
+	}
+	// Count of spans = count of selected phonemes in the alignment.
+	want := 0
+	for _, seg := range utt.Alignment {
+		if sel[seg.Symbol] {
+			want++
+		}
+	}
+	if len(spans) != want {
+		t.Errorf("spans = %d, want %d", len(spans), want)
+	}
+	// No span may cover the /s/ segment.
+	for _, seg := range utt.Alignment {
+		if seg.Symbol != "s" {
+			continue
+		}
+		for _, sp := range spans {
+			if sp.Start < seg.End && sp.End > seg.Start {
+				t.Error("oracle span overlaps excluded /s/")
+			}
+		}
+	}
+}
+
+func TestDetectFramesEmptyAudio(t *testing.T) {
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.DetectFrames(make([]float64, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != nil {
+		t.Errorf("short audio produced %d frames", len(frames))
+	}
+}
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	sel := selection.CanonicalSelected()
+	d, err := NewDetector(sel, smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := trainingUtterances(t, 1, 3)
+	if _, err := d.Train(train, brnn.TrainConfig{Epochs: 2, LearningRate: 0.01, ClipNorm: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Selected("er") || restored.Selected("s") {
+		t.Error("restored selected set wrong")
+	}
+	// Identical predictions on the same audio.
+	audio := train[0].Samples
+	want, err := d.DetectFrames(audio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.DetectFrames(audio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatal("frame count differs")
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction differs at frame %d", i)
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage should error")
+	}
+}

@@ -1,0 +1,22 @@
+package selection
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDebugSelection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpeakerCount = 4
+	cfg.SegmentsPerSpeaker = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sym, s := range res.Stats {
+		if !s.Sensitive() {
+			fmt.Printf("%-3s QAdvMax=%.5f QUserMin=%.5f I=%v II=%v EXCLUDED\n", sym, s.QAdvMax, s.QUserMin, s.PassI, s.PassII)
+		}
+	}
+	fmt.Println("selected:", len(res.Selected))
+}

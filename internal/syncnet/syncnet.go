@@ -1,0 +1,239 @@
+// Package syncnet implements the cross-device synchronization of Section
+// VI-A: the VA device and the wearable share a local WiFi network; upon
+// detecting a wake word the VA sends a trigger message so the wearable
+// records the same voice command, and the residual offset caused by
+// network delay (~100 ms) is estimated and removed with the
+// cross-correlation of Eq. (5).
+//
+// The transport is a real TCP protocol (length-prefixed gob frames) so the
+// distributed path is exercised end-to-end; network delay is additionally
+// modeled as a sample-domain offset on the wearable recording, which is
+// what the correlation-based estimator corrects.
+package syncnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"vibguard/internal/dsp"
+)
+
+// MessageType discriminates protocol frames.
+type MessageType int
+
+// Protocol message types.
+const (
+	// MsgTrigger asks the wearable to record a command.
+	MsgTrigger MessageType = iota + 1
+	// MsgRecording carries the wearable's recording back.
+	MsgRecording
+	// MsgError reports a wearable-side failure.
+	MsgError
+)
+
+// Message is one protocol frame.
+type Message struct {
+	// Type discriminates the frame.
+	Type MessageType
+	// SessionID correlates a trigger with its recording.
+	SessionID uint64
+	// SentAt is the sender's wall-clock timestamp.
+	SentAt time.Time
+	// Samples carries recorded audio (MsgRecording only).
+	Samples []float64
+	// Error carries a failure description (MsgError only).
+	Error string
+}
+
+// RecordFunc produces the wearable's recording for a trigger.
+type RecordFunc func(sessionID uint64) ([]float64, error)
+
+// WearableAgent is the wearable-side server: it accepts connections from
+// the VA device and answers trigger messages with recordings.
+type WearableAgent struct {
+	listener net.Listener
+	record   RecordFunc
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWearableAgent starts a wearable agent listening on addr
+// (e.g. "127.0.0.1:0").
+func NewWearableAgent(addr string, record RecordFunc) (*WearableAgent, error) {
+	if record == nil {
+		return nil, fmt.Errorf("syncnet: nil record func")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("syncnet: listen: %w", err)
+	}
+	a := &WearableAgent{listener: ln, record: record}
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *WearableAgent) Addr() string { return a.listener.Addr().String() }
+
+// Close stops the agent and waits for in-flight connections.
+func (a *WearableAgent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	err := a.listener.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *WearableAgent) serve() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.handle(conn)
+		}()
+	}
+}
+
+func (a *WearableAgent) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return // connection closed or corrupt
+		}
+		if msg.Type != MsgTrigger {
+			_ = enc.Encode(&Message{Type: MsgError, SessionID: msg.SessionID, Error: "unexpected message type"})
+			continue
+		}
+		samples, err := a.record(msg.SessionID)
+		reply := Message{SessionID: msg.SessionID, SentAt: time.Now()}
+		if err != nil {
+			reply.Type = MsgError
+			reply.Error = err.Error()
+		} else {
+			reply.Type = MsgRecording
+			reply.Samples = samples
+		}
+		if err := enc.Encode(&reply); err != nil {
+			return
+		}
+	}
+}
+
+// VAClient is the VA-side client that triggers wearable recordings.
+type VAClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	mu      sync.Mutex
+	session uint64
+}
+
+// DialWearable connects to a wearable agent.
+func DialWearable(addr string, timeout time.Duration) (*VAClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("syncnet: dial: %w", err)
+	}
+	return &VAClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the client connection.
+func (c *VAClient) Close() error { return c.conn.Close() }
+
+// RequestRecording sends a trigger and waits for the wearable's recording.
+func (c *VAClient) RequestRecording(timeout time.Duration) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.session++
+	id := c.session
+	if timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("syncnet: deadline: %w", err)
+		}
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	if err := c.enc.Encode(&Message{Type: MsgTrigger, SessionID: id, SentAt: time.Now()}); err != nil {
+		return nil, fmt.Errorf("syncnet: send trigger: %w", err)
+	}
+	var reply Message
+	if err := c.dec.Decode(&reply); err != nil {
+		return nil, fmt.Errorf("syncnet: read reply: %w", err)
+	}
+	if reply.SessionID != id {
+		return nil, fmt.Errorf("syncnet: session mismatch: got %d, want %d", reply.SessionID, id)
+	}
+	switch reply.Type {
+	case MsgRecording:
+		return reply.Samples, nil
+	case MsgError:
+		return nil, fmt.Errorf("syncnet: wearable error: %s", reply.Error)
+	default:
+		return nil, fmt.Errorf("syncnet: unexpected reply type %d", reply.Type)
+	}
+}
+
+// ErrNoOverlap is returned when the recordings share no usable content.
+var ErrNoOverlap = errors.New("syncnet: recordings do not overlap")
+
+// SimulateNetworkDelay models the trigger message's network latency: the
+// wearable serves its recording from a continuous buffer, so relative to
+// the VA recording it carries delaySeconds of extra pre-command ambient
+// context at the front, which AlignRecordings must strip.
+func SimulateNetworkDelay(wearable []float64, delaySeconds, sampleRate float64, rng *rand.Rand) []float64 {
+	n := int(delaySeconds * sampleRate)
+	if n <= 0 {
+		out := make([]float64, len(wearable))
+		copy(out, wearable)
+		return out
+	}
+	lead := make([]float64, n)
+	noise := dsp.RMS(wearable) * 0.01
+	for i := range lead {
+		lead[i] = noise * rng.NormFloat64()
+	}
+	return dsp.Concat(lead, wearable)
+}
+
+// AlignRecordings estimates the offset of the wearable recording relative
+// to the VA recording with the cross-correlation of Eq. (5) and removes
+// the first tau_est samples of the wearable recording so both start at the
+// same instant. maxLagSeconds bounds the search (network delays are
+// ~100 ms, so 0.5 s is a safe bound).
+func AlignRecordings(va, wearable []float64, maxLagSeconds, sampleRate float64) ([]float64, int, error) {
+	if len(va) == 0 || len(wearable) == 0 {
+		return nil, 0, ErrNoOverlap
+	}
+	maxLag := int(maxLagSeconds * sampleRate)
+	if maxLag >= len(wearable) {
+		maxLag = len(wearable) - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	tau := dsp.EstimateDelayFast(va, wearable, maxLag)
+	aligned := make([]float64, len(wearable)-tau)
+	copy(aligned, wearable[tau:])
+	return aligned, tau, nil
+}

@@ -1,0 +1,151 @@
+// Package wavio reads and writes mono 16-bit PCM WAV files, so the
+// simulated recordings, attack sounds, and vibration captures can be
+// exported for listening or external analysis, and external recordings can
+// be fed into the defense.
+package wavio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// fmtChunkPCM is the PCM audio format tag.
+const fmtChunkPCM = 1
+
+// Write encodes samples in [-1, 1] as a mono 16-bit PCM WAV stream.
+// Samples outside the range are clipped.
+func Write(w io.Writer, samples []float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("wavio: sample rate %d must be positive", sampleRate)
+	}
+	dataLen := len(samples) * 2
+	var header [44]byte
+	copy(header[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(header[4:8], uint32(36+dataLen))
+	copy(header[8:12], "WAVE")
+	copy(header[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(header[16:20], 16)
+	binary.LittleEndian.PutUint16(header[20:22], fmtChunkPCM)
+	binary.LittleEndian.PutUint16(header[22:24], 1) // mono
+	binary.LittleEndian.PutUint32(header[24:28], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(header[28:32], uint32(sampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(header[32:34], 2)                    // block align
+	binary.LittleEndian.PutUint16(header[34:36], 16)                   // bits per sample
+	copy(header[36:40], "data")
+	binary.LittleEndian.PutUint32(header[40:44], uint32(dataLen))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("wavio: header: %w", err)
+	}
+	buf := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		v := int16(math.Round(s * 32767))
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wavio: data: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes samples to a WAV file.
+func WriteFile(path string, samples []float64, sampleRate int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("wavio: %w", err)
+	}
+	if err := Write(f, samples, sampleRate); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wavio: close: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a mono 16-bit PCM WAV stream, returning samples in [-1, 1]
+// and the sample rate.
+func Read(r io.Reader) ([]float64, int, error) {
+	var header [12]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, 0, fmt.Errorf("wavio: riff header: %w", err)
+	}
+	if string(header[0:4]) != "RIFF" || string(header[8:12]) != "WAVE" {
+		return nil, 0, fmt.Errorf("wavio: not a RIFF/WAVE stream")
+	}
+	var (
+		sampleRate int
+		numChans   int
+		bits       int
+		haveFmt    bool
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			return nil, 0, fmt.Errorf("wavio: chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, fmt.Errorf("wavio: fmt chunk: %w", err)
+			}
+			if len(body) < 16 {
+				return nil, 0, fmt.Errorf("wavio: fmt chunk too short")
+			}
+			if tag := binary.LittleEndian.Uint16(body[0:2]); tag != fmtChunkPCM {
+				return nil, 0, fmt.Errorf("wavio: unsupported format tag %d (want PCM)", tag)
+			}
+			numChans = int(binary.LittleEndian.Uint16(body[2:4]))
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+			if numChans != 1 {
+				return nil, 0, fmt.Errorf("wavio: %d channels unsupported (want mono)", numChans)
+			}
+			if bits != 16 {
+				return nil, 0, fmt.Errorf("wavio: %d-bit samples unsupported (want 16)", bits)
+			}
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return nil, 0, fmt.Errorf("wavio: data chunk before fmt chunk")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, fmt.Errorf("wavio: data chunk: %w", err)
+			}
+			n := len(body) / 2
+			samples := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := int16(binary.LittleEndian.Uint16(body[2*i:]))
+				samples[i] = float64(v) / 32767
+			}
+			return samples, sampleRate, nil
+		default:
+			// Skip unknown chunks (LIST, fact, ...).
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, 0, fmt.Errorf("wavio: skipping %q chunk: %w", id, err)
+			}
+		}
+	}
+}
+
+// ReadFile reads a mono 16-bit PCM WAV file.
+func ReadFile(path string) ([]float64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wavio: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return Read(f)
+}

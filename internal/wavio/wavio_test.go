@@ -1,0 +1,160 @@
+package wavio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]float64, 1000)
+	for i := range in {
+		in[i] = rng.Float64()*2 - 1
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in, 16000); err != nil {
+		t.Fatal(err)
+	}
+	out, rate, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 16000 {
+		t.Errorf("rate = %d", rate)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %v -> %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []float64, rateRaw uint16) bool {
+		rate := int(rateRaw)%48000 + 8000
+		in := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			in[i] = math.Mod(v, 1)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in, rate); err != nil {
+			return false
+		}
+		out, gotRate, err := Read(&buf)
+		if err != nil || gotRate != rate || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if math.Abs(out[i]-in[i]) > 1.0/16000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{2.5, -3.0}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || math.Abs(out[1]+1) > 1.0/16000 {
+		t.Errorf("clipped samples = %v", out)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{0}, 0); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("not a wav"))); err == nil {
+		t.Error("garbage should error")
+	}
+	// Valid RIFF but wrong format tag.
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{0, 0}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[20] = 3 // float format tag
+	if _, _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("non-PCM tag should error")
+	}
+	// Stereo.
+	buf.Reset()
+	if err := Write(&buf, []float64{0, 0}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	b = buf.Bytes()
+	b[22] = 2
+	if _, _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("stereo should error")
+	}
+	// Truncated data.
+	buf.Reset()
+	if err := Write(&buf, make([]float64, 100), 8000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(bytes.NewReader(buf.Bytes()[:50])); err == nil {
+		t.Error("truncated stream should error")
+	}
+}
+
+func TestSkipsUnknownChunks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{0.5, -0.5}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Insert a LIST chunk between fmt and data.
+	list := append([]byte("LIST"), 4, 0, 0, 0, 'I', 'N', 'F', 'O')
+	patched := append(append(append([]byte{}, raw[:36]...), list...), raw[36:]...)
+	// Fix the RIFF size.
+	patched[4] = byte(len(patched) - 8)
+	out, rate, err := Read(bytes.NewReader(patched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 || len(out) != 2 {
+		t.Errorf("rate %d, %d samples", rate, len(out))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wav")
+	in := []float64{0, 0.25, -0.25, 0.99}
+	if err := WriteFile(path, in, 16000); err != nil {
+		t.Fatal(err)
+	}
+	out, rate, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 16000 || len(out) != 4 {
+		t.Errorf("rate %d, %d samples", rate, len(out))
+	}
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "missing.wav")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,182 @@
+package vibguard
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/acoustics"
+)
+
+func TestFacadeAccessors(t *testing.T) {
+	if len(VADevices()) != 4 {
+		t.Error("want 4 VA devices")
+	}
+	if len(Rooms()) != 4 {
+		t.Error("want 4 rooms")
+	}
+	if len(Commands()) != 20 {
+		t.Error("want 20 commands")
+	}
+	if len(WakeWords()) != 3 {
+		t.Error("want 3 wake words")
+	}
+	if len(SelectedPhonemes()) != 31 {
+		t.Error("want 31 selected phonemes")
+	}
+	if NewFossilGen5().Name == NewMoto360().Name {
+		t.Error("wearable names collide")
+	}
+}
+
+func TestEndToEndDefenseViaFacade(t *testing.T) {
+	// Full public-API flow: synthesize a command, record it on both
+	// devices, run the defense with ground-truth spans.
+	voices := NewVoicePool(2, 1)
+	synth, err := NewSynthesizer(voices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(Commands()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	room := Rooms()[0]
+	transmit := func(spl, dist float64, thru bool) []float64 {
+		p, err := room.Transmit(utt.Samples, PathConfig{
+			SourceSPL: spl, DistanceM: dist, ThroughBarrier: thru, SampleRate: SampleRate,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	legitVA := transmit(72, 1.5, false)
+	legitWear := SimulateNetworkDelay(transmit(72, 0.3, false), 0.1, rng)
+	atkVA := transmit(80, 2.1, true)
+	atkWear := SimulateNetworkDelay(transmit(80, 2.4, true), 0.08, rng)
+
+	defense, err := NewDefense(Options{
+		Segmenter: StaticSegmenter(OracleSpans(utt, SelectedPhonemes())),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit, err := defense.Inspect(legitVA, legitWear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legit.Attack {
+		t.Errorf("legit flagged (score %v)", legit.Score)
+	}
+	atk, err := defense.Inspect(atkVA, atkWear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Attack {
+		t.Errorf("attack missed (score %v)", atk.Score)
+	}
+}
+
+func TestNewDefenseTrainsDetectorByDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BRNN training is a few seconds")
+	}
+	defense, err := NewDefense(Options{TrainSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defense.Method() != MethodFull {
+		t.Error("default method should be MethodFull")
+	}
+}
+
+func TestTrainPhonemeDetectorDefaults(t *testing.T) {
+	det, err := TrainPhonemeDetector(DetectorTraining{HiddenDim: 8, Voices: 2, CommandsPerVoice: 3, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Selected("er") || det.Selected("s") {
+		t.Error("selected set wrong")
+	}
+}
+
+func TestAlignRecordingsFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	synth, err := NewSynthesizer(NewVoicePool(1, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(Commands()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wear := SimulateNetworkDelay(utt.Samples, 0.1, rng)
+	_, tau, err := AlignRecordings(utt.Samples, wear, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 1500 || tau > 1700 {
+		t.Errorf("tau = %d, want ~1600", tau)
+	}
+}
+
+func TestAttackerViaFacade(t *testing.T) {
+	a := NewAttacker(1)
+	synth, err := NewSynthesizer(NewVoicePool(1, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(Commands()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.ReplayAttack(utt.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("empty attack")
+	}
+	// Barrier application through the facade type.
+	barrier := acoustics.GlassWindow
+	_ = Barrier(barrier)
+}
+
+func TestWAVFacadeRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/x.wav"
+	in := []float64{0, 0.5, -0.5}
+	if err := WriteWAV(path, in, 16000); err != nil {
+		t.Fatal(err)
+	}
+	out, rate, err := ReadWAV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 16000 || len(out) != 3 {
+		t.Errorf("rate %d, %d samples", rate, len(out))
+	}
+}
+
+func TestDetectorSaveLoadFacade(t *testing.T) {
+	det, err := TrainPhonemeDetector(DetectorTraining{HiddenDim: 8, Voices: 2, CommandsPerVoice: 2, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadPhonemeDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Selected("er") {
+		t.Error("restored detector selected set wrong")
+	}
+	// The restored detector plugs into a Defense as a segmenter.
+	if _, err := NewDefense(Options{Segmenter: BRNNSegmenter(restored)}); err != nil {
+		t.Fatal(err)
+	}
+}
