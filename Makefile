@@ -1,0 +1,39 @@
+# VibGuard build/test targets. `make check` is the tier-1 gate;
+# `make race` is the concurrency gate the parallel evaluation engine is
+# developed under (go vet + the full test suite with the race detector).
+
+GO ?= go
+
+.PHONY: build test check race bench bench-scoring benchgen
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check: build test
+
+# Concurrency gate: vet everything, then run the race detector over the
+# whole module (the eval engine's equivalence and overlapping-slice tests
+# are the interesting part; -short skips the long swept-dataset runs).
+race:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# Focused race run for the parallel scoring engine only.
+race-eval:
+	$(GO) vet ./internal/eval/...
+	$(GO) test -race ./internal/eval/...
+
+# Full benchmark sweep (regenerates every figure; slow).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Serial-vs-parallel dataset-scoring throughput (EXPERIMENTS.md records
+# the output).
+bench-scoring:
+	$(GO) test -bench='BenchmarkDatasetScoring|BenchmarkScoreAll' -run=^$$ . ./internal/eval/
+
+benchgen:
+	$(GO) run ./cmd/benchgen -quick

@@ -224,7 +224,7 @@ func BenchmarkFigure11dRooms(b *testing.B) {
 // --- Ablations of the design choices called out in DESIGN.md ---
 
 // ablationEER measures the full system's replay-attack EER under a
-// modified sensing configuration.
+// modified sensing configuration, scored on the parallel engine.
 func ablationEER(b *testing.B, mutate func(*sensing.Config)) {
 	b.Helper()
 	cfg := benchFigCfg()
@@ -241,19 +241,12 @@ func ablationEER(b *testing.B, mutate func(*sensing.Config)) {
 	}
 	provider := &eval.OracleProvider{Selected: selection.CanonicalSelected()}
 	for i := 0; i < b.N; i++ {
-		sc, err := eval.NewScorerWithSensing(detector.MethodFull, device.NewFossilGen5(), provider, 99, mutate)
+		sc, err := eval.NewParallelScorer(detector.MethodFull, device.NewFossilGen5(), provider, 99,
+			eval.WithSensing(mutate))
 		if err != nil {
 			b.Fatal(err)
 		}
-		legit, err := sc.ScoreAll(ds.Legit)
-		if err != nil {
-			b.Fatal(err)
-		}
-		attacks, err := sc.ScoreAll(ds.Attacks[attack.Replay])
-		if err != nil {
-			b.Fatal(err)
-		}
-		sum, err := eval.Summarize("ablation", legit, attacks)
+		sum, err := sc.ScoreDataset("ablation", ds.Legit, ds.Attacks[attack.Replay])
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,7 +302,6 @@ func BenchmarkAblationNoSync(b *testing.B) {
 // --- Micro-benchmarks of the hot pipeline stages ---
 
 func BenchmarkPipelineScore(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
 	gen, err := eval.NewGenerator(2, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -330,7 +322,68 @@ func BenchmarkPipelineScore(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	_ = rng
+}
+
+// --- Serial vs parallel dataset scoring (the PR-1 engine) ---
+
+// datasetScoring builds the sweep-sized workload once.
+func datasetScoring(b *testing.B) ([]*eval.Sample, []*eval.Sample) {
+	b.Helper()
+	cfg := benchFigCfg()
+	ds, err := eval.BuildDataset(eval.DatasetConfig{
+		Participants:    cfg.Participants,
+		CommandsPerUser: cfg.CommandsPerUser,
+		AttacksPerKind:  cfg.AttacksPerKind,
+		Kinds:           []attack.Kind{attack.Replay},
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Legit, ds.Attacks[attack.Replay]
+}
+
+// BenchmarkDatasetScoringSerial scores the workload on the sequential
+// Scorer; BenchmarkDatasetScoringParallel on the worker pool. The score
+// vectors are bit-identical; only throughput differs.
+func BenchmarkDatasetScoringSerial(b *testing.B) {
+	legit, attacks := datasetScoring(b)
+	provider := &eval.OracleProvider{Selected: selection.CanonicalSelected()}
+	sc, err := eval.NewScorer(detector.MethodFull, device.NewFossilGen5(), provider, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(legit) + len(attacks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.ScoreAll(legit); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sc.ScoreAll(attacks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkDatasetScoringParallel(b *testing.B) {
+	legit, attacks := datasetScoring(b)
+	provider := &eval.OracleProvider{Selected: selection.CanonicalSelected()}
+	sc, err := eval.NewParallelScorer(detector.MethodFull, device.NewFossilGen5(), provider, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(legit) + len(attacks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.ScoreAll(legit); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sc.ScoreAll(attacks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "samples/s")
 }
 
 func BenchmarkCrossDomainSensing(b *testing.B) {

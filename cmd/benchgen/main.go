@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	benchgen [-quick] [-only fig9,table1,...]
+//	benchgen [-quick] [-only fig9,table1,...] [-workers n]
 //
 // -quick shrinks the datasets (~4x faster, noisier metrics).
 // -only runs a comma-separated subset: table1, table2, fig3, fig4, fig6,
 // fig7, accuracy, fig9, fig10, fig11a, fig11b, fig11c, fig11d.
+// -workers sets the scoring worker-pool size (default GOMAXPROCS; the
+// results are bit-identical for any value, only wall time changes).
 package main
 
 import (
@@ -27,7 +29,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller datasets, faster run")
 	only := flag.String("only", "", "comma-separated experiment subset")
+	workers := flag.Int("workers", 0, "scoring worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	eval.SetDefaultWorkers(*workers)
 	if err := run(*quick, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)

@@ -19,8 +19,10 @@ import (
 )
 
 // DefaultThreshold is the decision threshold on the 2D correlation score,
-// calibrated at the equal-error point of the evaluation datasets.
-const DefaultThreshold = 0.45
+// calibrated at the equal-error point of the evaluation datasets. It
+// aliases the detector package's constant so the two config layers cannot
+// drift apart.
+const DefaultThreshold = detector.DefaultThreshold
 
 // Config parameterizes the defense pipeline.
 type Config struct {
@@ -54,11 +56,16 @@ func DefaultConfig(w *device.Wearable, seg detector.Segmenter) Config {
 		AudioFFTSize:      256,
 		Threshold:         DefaultThreshold,
 		MaxSyncLagSeconds: 0.5,
-		SampleRate:        16000,
+		SampleRate:        detector.DefaultSampleRate,
 	}
 }
 
-// Defense is the end-to-end thru-barrier attack detection pipeline.
+// Defense is the end-to-end thru-barrier attack detection pipeline. A
+// Defense holds no mutable state: every Inspect/Score call reads only the
+// immutable configuration and the caller-supplied rng, so one instance is
+// safe for concurrent use by multiple goroutines as long as each call gets
+// its own rng (and, for MethodFull, the configured Segmenter is itself
+// stateless per call).
 type Defense struct {
 	cfg Config
 	det *detector.Detector
@@ -79,6 +86,7 @@ func NewDefense(cfg Config) (*Defense, error) {
 		Sensing:      cfg.Sensing,
 		AudioFFTSize: cfg.AudioFFTSize,
 		Threshold:    cfg.Threshold,
+		SampleRate:   cfg.SampleRate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -101,29 +109,34 @@ type Verdict struct {
 
 // Inspect runs the full pipeline on a VA recording and a raw (unaligned)
 // wearable recording and returns the verdict. The rng drives the
-// stochastic cross-domain sensing.
+// stochastic cross-domain sensing. For MethodFull the segmenter (one BRNN
+// inference in production) runs exactly once; the resulting spans feed
+// both the score and the verdict.
 func (d *Defense) Inspect(vaRec, wearRec []float64, rng *rand.Rand) (*Verdict, error) {
 	aligned, tau, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	score, err := d.det.Score(vaRec, aligned, rng)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	v := &Verdict{
-		Score:      score,
-		Attack:     d.det.Detect(score),
-		SyncOffset: tau,
-	}
+	var spans []segment.Span
 	if d.cfg.Method == detector.MethodFull {
-		spans, err := d.cfg.Segmenter.EffectiveSpans(vaRec)
+		if d.cfg.Segmenter == nil {
+			return nil, fmt.Errorf("core: full method needs a segmenter")
+		}
+		spans, err = d.cfg.Segmenter.EffectiveSpans(vaRec)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		v.Spans = spans
 	}
-	return v, nil
+	score, err := d.det.ScoreWithSpans(vaRec, aligned, spans, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Verdict{
+		Score:      score,
+		Attack:     d.det.Detect(score),
+		SyncOffset: tau,
+		Spans:      spans,
+	}, nil
 }
 
 // Score runs the pipeline and returns only the similarity score; it is the
@@ -134,6 +147,23 @@ func (d *Defense) Score(vaRec, wearRec []float64, rng *rand.Rand) (float64, erro
 		return 0, fmt.Errorf("core: %w", err)
 	}
 	score, err := d.det.Score(vaRec, aligned, rng)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return score, nil
+}
+
+// ScoreWithSpans runs the pipeline with caller-provided effective-phoneme
+// spans instead of the configured Segmenter. It is the per-call span path
+// of the parallel evaluation engine: the Defense reads only immutable
+// state, so concurrent callers need nothing but their own rng. The spans
+// are ignored by the baseline methods.
+func (d *Defense) ScoreWithSpans(vaRec, wearRec []float64, spans []segment.Span, rng *rand.Rand) (float64, error) {
+	aligned, _, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	score, err := d.det.ScoreWithSpans(vaRec, aligned, spans, rng)
 	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)
 	}

@@ -77,6 +77,66 @@ func buildScenario(t *testing.T, seed int64) (spans []segment.Span, legitVA, leg
 	return spans, legitVA, legitWear, atkVA, atkWear
 }
 
+// countingSegmenter counts EffectiveSpans calls, verifying the hot path
+// runs segmentation (one BRNN inference in production) exactly once.
+type countingSegmenter struct {
+	calls int
+	spans []segment.Span
+}
+
+func (c *countingSegmenter) EffectiveSpans([]float64) ([]segment.Span, error) {
+	c.calls++
+	return c.spans, nil
+}
+
+func TestInspectSegmentsExactlyOnce(t *testing.T) {
+	spans, legitVA, legitWear, _, _ := buildScenario(t, 15)
+	seg := &countingSegmenter{spans: spans}
+	d, err := NewDefense(DefaultConfig(device.NewFossilGen5(), seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Inspect(legitVA, legitWear, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.calls != 1 {
+		t.Errorf("Inspect ran the segmenter %d times, want exactly 1", seg.calls)
+	}
+	if len(v.Spans) != len(spans) {
+		t.Errorf("verdict spans = %d, want the segmenter's %d", len(v.Spans), len(spans))
+	}
+	seg.calls = 0
+	if _, err := d.Score(legitVA, legitWear, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if seg.calls != 1 {
+		t.Errorf("Score ran the segmenter %d times, want exactly 1", seg.calls)
+	}
+}
+
+// TestThresholdAgreesWithDetector pins the bugfix for the 0.45-vs-0.5
+// default-threshold drift: both config paths must resolve to the same
+// constant.
+func TestThresholdAgreesWithDetector(t *testing.T) {
+	w := device.NewFossilGen5()
+	seg := &detector.StaticSegmenter{}
+	coreCfg := DefaultConfig(w, seg)
+	detCfg := detector.DefaultConfig(w, seg)
+	if coreCfg.Threshold != detCfg.Threshold {
+		t.Errorf("core default threshold %v != detector default threshold %v",
+			coreCfg.Threshold, detCfg.Threshold)
+	}
+	if DefaultThreshold != detector.DefaultThreshold {
+		t.Errorf("core.DefaultThreshold %v != detector.DefaultThreshold %v",
+			DefaultThreshold, detector.DefaultThreshold)
+	}
+	if coreCfg.SampleRate != detCfg.SampleRate {
+		t.Errorf("core default sample rate %v != detector default %v",
+			coreCfg.SampleRate, detCfg.SampleRate)
+	}
+}
+
 func TestInspectEndToEnd(t *testing.T) {
 	spans, legitVA, legitWear, atkVA, atkWear := buildScenario(t, 5)
 	w := device.NewFossilGen5()

@@ -21,6 +21,16 @@ import (
 	"vibguard/internal/sensing"
 )
 
+// DefaultThreshold is the decision threshold on the correlation score,
+// calibrated at the equal-error point of the evaluation datasets. It is
+// the single source of truth for the default: package core and every
+// config path reference it, so the two layers cannot drift apart.
+const DefaultThreshold = 0.45
+
+// DefaultSampleRate is the audio sampling rate of all recordings in the
+// paper (16 kHz).
+const DefaultSampleRate = 16000.0
+
 // Method selects one of the three detectors of the evaluation.
 type Method int
 
@@ -95,7 +105,9 @@ type Config struct {
 	Method Method
 	// Wearable performs cross-domain sensing (vibration methods).
 	Wearable *device.Wearable
-	// Segmenter provides effective-phoneme spans (MethodFull only).
+	// Segmenter provides effective-phoneme spans (MethodFull only). It
+	// may be nil when every score call supplies spans directly through
+	// ScoreWithSpans; Score returns an error in that case.
 	Segmenter Segmenter
 	// Sensing configures vibration feature extraction.
 	Sensing sensing.Config
@@ -104,6 +116,9 @@ type Config struct {
 	// Threshold is the decision threshold: scores below it are flagged
 	// as attacks.
 	Threshold float64
+	// SampleRate of the recordings in Hz. The audio-domain baseline's
+	// 1 kHz/4 kHz band edges are computed against it.
+	SampleRate float64
 }
 
 // DefaultConfig returns the full-system configuration with the paper's
@@ -115,12 +130,16 @@ func DefaultConfig(w *device.Wearable, seg Segmenter) Config {
 		Segmenter:    seg,
 		Sensing:      sensing.DefaultConfig(),
 		AudioFFTSize: 256,
-		Threshold:    0.5,
+		Threshold:    DefaultThreshold,
+		SampleRate:   DefaultSampleRate,
 	}
 }
 
 // Validate checks the configuration.
 func (c *Config) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("detector: sample rate %v must be positive", c.SampleRate)
+	}
 	switch c.Method {
 	case MethodAudio:
 		if err := dsp.ValidateLength(c.AudioFFTSize); err != nil {
@@ -133,9 +152,6 @@ func (c *Config) Validate() error {
 	case MethodFull:
 		if c.Wearable == nil {
 			return fmt.Errorf("detector: full method needs a wearable")
-		}
-		if c.Segmenter == nil {
-			return fmt.Errorf("detector: full method needs a segmenter")
 		}
 	default:
 		return fmt.Errorf("detector: unknown method %d", c.Method)
@@ -169,15 +185,39 @@ func (d *Detector) Threshold() float64 { return d.cfg.Threshold }
 
 // Score computes the similarity score between the VA recording and the
 // (already synchronized) wearable recording. Higher means more likely
-// legitimate. The rng drives the stochastic cross-domain sensing.
+// legitimate. The rng drives the stochastic cross-domain sensing. For
+// MethodFull the configured Segmenter runs exactly once; callers that
+// already hold the spans (or provide them per call, like the parallel
+// evaluation engine) should use ScoreWithSpans instead.
 func (d *Detector) Score(vaRec, wearRec []float64, rng *rand.Rand) (float64, error) {
+	var spans []segment.Span
+	if d.cfg.Method == MethodFull {
+		if d.cfg.Segmenter == nil {
+			return 0, fmt.Errorf("detector: full method needs a segmenter (or use ScoreWithSpans)")
+		}
+		var err error
+		spans, err = d.cfg.Segmenter.EffectiveSpans(vaRec)
+		if err != nil {
+			return 0, fmt.Errorf("detector: %w", err)
+		}
+	}
+	return d.ScoreWithSpans(vaRec, wearRec, spans, rng)
+}
+
+// ScoreWithSpans scores the pair using caller-provided effective-phoneme
+// spans, bypassing the configured Segmenter entirely. It is the
+// concurrency-safe entry point: the detector reads only immutable
+// configuration, so any number of goroutines may call it at once (each
+// with its own rng). The spans are ignored by the audio- and
+// vibration-domain baselines.
+func (d *Detector) ScoreWithSpans(vaRec, wearRec []float64, spans []segment.Span, rng *rand.Rand) (float64, error) {
 	switch d.cfg.Method {
 	case MethodAudio:
 		return d.audioScore(vaRec, wearRec)
 	case MethodVibration:
 		return d.vibrationScore(vaRec, wearRec, rng)
 	default:
-		return d.fullScore(vaRec, wearRec, rng)
+		return d.fullScore(vaRec, wearRec, spans, rng)
 	}
 }
 
@@ -193,14 +233,13 @@ func (d *Detector) Detect(score float64) bool { return score < d.cfg.Threshold }
 // weakness Figs. 9-11 quantify. The fraction is mapped through a smooth
 // squash so scores live on the same [0, 1) scale as the correlators.
 func (d *Detector) audioScore(vaRec, wearRec []float64) (float64, error) {
-	const audioRate = 16000
 	_ = wearRec // the audio-domain check only uses the VA recording
 	if len(vaRec) == 0 {
 		return 0, fmt.Errorf("detector: empty VA recording")
 	}
 	spec := dsp.PowerSpectrum(vaRec)
-	lowCut := dsp.FrequencyBin(1000, len(vaRec), audioRate)
-	highCut := dsp.FrequencyBin(4000, len(vaRec), audioRate)
+	lowCut := dsp.FrequencyBin(1000, len(vaRec), d.cfg.SampleRate)
+	highCut := dsp.FrequencyBin(4000, len(vaRec), d.cfg.SampleRate)
 	var low, high float64
 	for k := 1; k < len(spec); k++ {
 		switch {
@@ -233,15 +272,10 @@ func (d *Detector) vibrationScore(vaRec, wearRec []float64, rng *rand.Rand) (flo
 	return dsp.Correlate2D(featA, featB), nil
 }
 
-// fullScore is the proposed system: segment the VA recording with the
-// effective-phoneme detector, apply the same spans to the wearable
-// recording (Section VI-A), then correlate the vibration-domain features
-// of the extracted segments.
-func (d *Detector) fullScore(vaRec, wearRec []float64, rng *rand.Rand) (float64, error) {
-	spans, err := d.cfg.Segmenter.EffectiveSpans(vaRec)
-	if err != nil {
-		return 0, fmt.Errorf("detector: %w", err)
-	}
+// fullScore is the proposed system: apply the effective-phoneme spans of
+// the VA recording to both recordings (Section VI-A), then correlate the
+// vibration-domain features of the extracted segments.
+func (d *Detector) fullScore(vaRec, wearRec []float64, spans []segment.Span, rng *rand.Rand) (float64, error) {
 	vaSeg := segment.ExtractSpans(vaRec, spans)
 	wearSeg := segment.ExtractSpans(wearRec, spans)
 	if len(vaSeg) == 0 || len(wearSeg) == 0 {

@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -30,12 +31,13 @@ func TestMethodString(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	w := device.NewFossilGen5()
 	seg := &StaticSegmenter{}
+	rate := DefaultSampleRate
 	cases := []Config{
-		{Method: MethodAudio, AudioFFTSize: 100}, // not pow2
-		{Method: MethodVibration},                // no wearable
-		{Method: MethodFull, Wearable: w},        // no segmenter
-		{Method: Method(9), Wearable: w},         // unknown method
-		{Method: MethodFull, Wearable: w, Segmenter: seg, Sensing: sensing.Config{FFTSize: 63}},
+		{Method: MethodAudio, AudioFFTSize: 100, SampleRate: rate}, // not pow2
+		{Method: MethodVibration, SampleRate: rate},                // no wearable
+		{Method: MethodFull, Wearable: w, Segmenter: seg},          // no sample rate
+		{Method: Method(9), Wearable: w, SampleRate: rate},         // unknown method
+		{Method: MethodFull, Wearable: w, Segmenter: seg, SampleRate: rate, Sensing: sensing.Config{FFTSize: 63}},
 	}
 	for i, cfg := range cases {
 		if _, err := New(cfg); err == nil {
@@ -163,13 +165,96 @@ func TestBRNNSegmenterImplementsInterface(t *testing.T) {
 }
 
 func TestAudioScoreErrors(t *testing.T) {
-	cfg := Config{Method: MethodAudio, AudioFFTSize: 256}
+	cfg := Config{Method: MethodAudio, AudioFFTSize: 256, SampleRate: DefaultSampleRate}
 	d, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := d.Score(nil, nil, rand.New(rand.NewSource(1))); err == nil {
 		t.Error("empty VA recording should error")
+	}
+}
+
+// TestAudioScoreUsesConfiguredRate guards the sample-rate plumbing: the
+// audio baseline's 1 kHz/4 kHz band edges must follow Config.SampleRate,
+// so the same waveform interpreted at a doubled rate (halving every
+// physical frequency under the fixed band edges) must score differently.
+func TestAudioScoreUsesConfiguredRate(t *testing.T) {
+	mk := func(rate float64) *Detector {
+		d, err := New(Config{Method: MethodAudio, AudioFFTSize: 256, SampleRate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// A 3 kHz tone at 16 kHz: inside the 1-4 kHz high band. The same
+	// samples declared as 32 kHz audio contain a 6 kHz tone: outside it.
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 3000 * float64(i) / 16000)
+	}
+	rng := rand.New(rand.NewSource(1))
+	at16k, err := mk(16000).Score(x, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at32k, err := mk(32000).Score(x, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at16k <= at32k {
+		t.Errorf("3kHz tone: score at 16kHz (%v) should exceed score at 32kHz (%v)", at16k, at32k)
+	}
+}
+
+// TestDefaultThresholdUnified asserts the single-source-of-truth default:
+// DefaultConfig must carry the exported constant, and the constant must be
+// the calibrated equal-error value.
+func TestDefaultThresholdUnified(t *testing.T) {
+	cfg := DefaultConfig(device.NewFossilGen5(), &StaticSegmenter{})
+	if cfg.Threshold != DefaultThreshold {
+		t.Errorf("DefaultConfig threshold %v != DefaultThreshold %v", cfg.Threshold, DefaultThreshold)
+	}
+	if DefaultThreshold != 0.45 {
+		t.Errorf("DefaultThreshold = %v, want calibrated 0.45", DefaultThreshold)
+	}
+}
+
+// TestScoreWithSpansMatchesScore proves the per-call span path computes
+// the same score as the segmenter path when given the segmenter's spans.
+func TestScoreWithSpansMatchesScore(t *testing.T) {
+	utt, legitVA, legitWear, _, _ := scenario(t, 21)
+	spans := segment.OracleSpans(utt, selection.CanonicalSelected())
+	d, err := New(DefaultConfig(device.NewFossilGen5(), &StaticSegmenter{Spans: spans}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSegmenter, err := d.Score(legitVA, legitWear, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpans, err := d.ScoreWithSpans(legitVA, legitWear, spans, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSegmenter != viaSpans {
+		t.Errorf("Score %v != ScoreWithSpans %v for identical spans and rng", viaSegmenter, viaSpans)
+	}
+}
+
+// TestScoreRequiresSegmenter: a nil-segmenter MethodFull detector is valid
+// (the parallel engine supplies spans per call) but its Score entry point
+// must fail loudly rather than segment nothing.
+func TestScoreRequiresSegmenter(t *testing.T) {
+	d, err := New(DefaultConfig(device.NewFossilGen5(), nil))
+	if err != nil {
+		t.Fatalf("nil segmenter should be constructible: %v", err)
+	}
+	if _, err := d.Score(make([]float64, 16000), make([]float64, 16000), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Score without a segmenter should error")
+	}
+	if _, err := d.ScoreWithSpans(make([]float64, 16000), make([]float64, 16000), nil, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("ScoreWithSpans should work without a segmenter: %v", err)
 	}
 }
 

@@ -561,7 +561,7 @@ func sweepEERs(labels []string, condSets [][]Condition, cfg FigureConfig) ([]EER
 		if err != nil {
 			return nil, err
 		}
-		sc, err := NewScorer(detector.MethodFull, device.NewFossilGen5(), provider, cfg.Seed+3000)
+		sc, err := NewParallelScorer(detector.MethodFull, device.NewFossilGen5(), provider, cfg.Seed+3000)
 		if err != nil {
 			return nil, err
 		}
@@ -661,7 +661,7 @@ func WearableComparison(cfg FigureConfig) ([]WearableCell, error) {
 	provider := &OracleProvider{Selected: selection.CanonicalSelected()}
 	var out []WearableCell
 	for _, w := range []*device.Wearable{device.NewFossilGen5(), device.NewMoto360()} {
-		sc, err := NewScorer(detector.MethodFull, w, provider, cfg.Seed+4000)
+		sc, err := NewParallelScorer(detector.MethodFull, w, provider, cfg.Seed+4000)
 		if err != nil {
 			return nil, err
 		}
@@ -711,7 +711,7 @@ func BodyMotionRobustness(cfg FigureConfig, amps []float64) ([]MotionCell, error
 	for _, amp := range amps {
 		w := device.NewFossilGen5()
 		w.Accel.BodyMotionAmp = amp
-		sc, err := NewScorer(detector.MethodFull, w, provider, cfg.Seed+5000)
+		sc, err := NewParallelScorer(detector.MethodFull, w, provider, cfg.Seed+5000)
 		if err != nil {
 			return nil, err
 		}

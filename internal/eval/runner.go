@@ -138,59 +138,131 @@ func BuildDataset(cfg DatasetConfig) (*Dataset, error) {
 	return ds, nil
 }
 
-// switchSegmenter adapts a per-sample SpanProvider to the detector's
-// Segmenter interface; Scorer points it at the current sample before each
-// score call.
-type switchSegmenter struct {
+// scorerSpec captures everything needed to build one Defense instance for
+// scoring: the parallel engine replays it once per worker, the serial
+// Scorer once in total. The wearable is copied by value per build, so
+// every Defense owns an independent device model.
+type scorerSpec struct {
+	method   detector.Method
+	wearable *device.Wearable
 	provider SpanProvider
-	current  *Sample
+	seed     int64
+	mutate   func(*sensing.Config)
+	noSync   bool
 }
 
-var _ detector.Segmenter = (*switchSegmenter)(nil)
-
-func (s *switchSegmenter) EffectiveSpans([]float64) ([]segment.Span, error) {
-	if s.current == nil {
-		return nil, fmt.Errorf("eval: no current sample")
+func (sp *scorerSpec) validate() error {
+	if sp.wearable == nil && sp.method != detector.MethodAudio {
+		return fmt.Errorf("eval: method %v needs a wearable", sp.method)
 	}
-	return s.provider.SpansFor(s.current)
+	if sp.provider == nil && sp.method == detector.MethodFull {
+		return fmt.Errorf("eval: full method needs a span provider")
+	}
+	return nil
+}
+
+// newDefense builds a fresh, independent Defense from the spec. Spans come
+// from the per-sample SpanProvider at score time, so the Defense itself is
+// configured without a segmenter.
+func (sp *scorerSpec) newDefense() (*core.Defense, error) {
+	var w *device.Wearable
+	if sp.wearable != nil {
+		clone := *sp.wearable // component structs are value types: deep enough
+		w = &clone
+	}
+	cfg := core.DefaultConfig(w, nil)
+	cfg.Method = sp.method
+	if sp.mutate != nil {
+		sp.mutate(&cfg.Sensing)
+	}
+	if sp.noSync {
+		cfg.MaxSyncLagSeconds = 0
+	}
+	return core.NewDefense(cfg)
+}
+
+// SampleSeed derives the RNG seed of sample index from the scorer seed
+// using a SplitMix64-style mix, so per-sample random streams are mutually
+// decorrelated and — crucially — depend only on (seed, index), never on
+// which worker scores the sample or in what order. This is what makes
+// parallel scoring bit-identical to sequential scoring.
+func SampleSeed(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // Scorer scores datasets with one detection method through the full
-// defense pipeline (synchronization included).
+// defense pipeline (synchronization included), sequentially. Scores are
+// bit-identical to ParallelScorer's for the same (seed, index) pairs.
 type Scorer struct {
+	spec    scorerSpec
 	defense *core.Defense
-	sw      *switchSegmenter
-	rng     *rand.Rand
 }
 
 // NewScorer builds a scorer for one method. The provider is required for
 // MethodFull and ignored otherwise.
 func NewScorer(method detector.Method, w *device.Wearable, provider SpanProvider, seed int64) (*Scorer, error) {
-	sw := &switchSegmenter{provider: provider}
-	cfg := core.DefaultConfig(w, sw)
-	cfg.Method = method
-	defense, err := core.NewDefense(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Scorer{defense: defense, sw: sw, rng: rand.New(rand.NewSource(seed))}, nil
+	return NewScorerWithSensing(method, w, provider, seed, nil)
 }
 
 // NewScorerWithSensing builds a scorer whose vibration-domain sensing
 // configuration is modified by mutate (nil means defaults). Used by the
 // ablation benchmarks.
 func NewScorerWithSensing(method detector.Method, w *device.Wearable, provider SpanProvider, seed int64, mutate func(*sensing.Config)) (*Scorer, error) {
-	sw := &switchSegmenter{provider: provider}
-	cfg := core.DefaultConfig(w, sw)
-	cfg.Method = method
-	if mutate != nil {
-		mutate(&cfg.Sensing)
+	spec := scorerSpec{method: method, wearable: w, provider: provider, seed: seed, mutate: mutate}
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
-	defense, err := core.NewDefense(cfg)
+	defense, err := spec.newDefense()
 	if err != nil {
 		return nil, err
 	}
-	return &Scorer{defense: defense, sw: sw, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Scorer{spec: spec, defense: defense}, nil
+}
+
+// scoreSample runs the pipeline on one sample with the given rng,
+// resolving spans through the per-sample provider for MethodFull.
+func scoreSample(defense *core.Defense, spec *scorerSpec, s *Sample, rng *rand.Rand) (float64, error) {
+	var spans []segment.Span
+	if spec.method == detector.MethodFull {
+		var err error
+		spans, err = spec.provider.SpansFor(s)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return defense.ScoreWithSpans(s.VARec, s.WearRec, spans, rng)
+}
+
+// ScoreIndexed scores one sample as the index-th element of a dataset: the
+// rng is freshly derived from (seed, index), so the result is independent
+// of any other sample's scoring.
+func (sc *Scorer) ScoreIndexed(s *Sample, index int) (float64, error) {
+	rng := rand.New(rand.NewSource(SampleSeed(sc.spec.seed, index)))
+	return scoreSample(sc.defense, &sc.spec, s, rng)
+}
+
+// Score runs the pipeline on one sample (as index 0).
+func (sc *Scorer) Score(s *Sample) (float64, error) {
+	return sc.ScoreIndexed(s, 0)
+}
+
+// ScoreAll scores a slice of samples sequentially.
+func (sc *Scorer) ScoreAll(samples []*Sample) ([]float64, error) {
+	out := make([]float64, 0, len(samples))
+	for i, s := range samples {
+		score, err := sc.ScoreIndexed(s, i)
+		if err != nil {
+			return nil, fmt.Errorf("eval: sample %d: %w", i, err)
+		}
+		out = append(out, score)
+	}
+	return out, nil
 }
 
 // EvaluateWithoutSync scores the dataset with the Eq. (5) synchronization
@@ -198,14 +270,10 @@ func NewScorerWithSensing(method detector.Method, w *device.Wearable, provider S
 // alignment contributes: the wearable's 50-150 ms network-delay offset is
 // left in place.
 func EvaluateWithoutSync(ds *Dataset, attackSamples []*Sample, w *device.Wearable, provider SpanProvider, seed int64) (Summary, error) {
-	sw := &switchSegmenter{provider: provider}
-	cfg := core.DefaultConfig(w, sw)
-	cfg.MaxSyncLagSeconds = 0
-	defense, err := core.NewDefense(cfg)
+	sc, err := NewParallelScorer(detector.MethodFull, w, provider, seed, WithoutSync())
 	if err != nil {
 		return Summary{}, err
 	}
-	sc := &Scorer{defense: defense, sw: sw, rng: rand.New(rand.NewSource(seed))}
 	legit, err := sc.ScoreAll(ds.Legit)
 	if err != nil {
 		return Summary{}, err
@@ -217,25 +285,6 @@ func EvaluateWithoutSync(ds *Dataset, attackSamples []*Sample, w *device.Wearabl
 	return Summarize("no-sync ablation", legit, attacks)
 }
 
-// Score runs the pipeline on one sample.
-func (sc *Scorer) Score(s *Sample) (float64, error) {
-	sc.sw.current = s
-	return sc.defense.Score(s.VARec, s.WearRec, sc.rng)
-}
-
-// ScoreAll scores a slice of samples.
-func (sc *Scorer) ScoreAll(samples []*Sample) ([]float64, error) {
-	out := make([]float64, 0, len(samples))
-	for i, s := range samples {
-		score, err := sc.Score(s)
-		if err != nil {
-			return nil, fmt.Errorf("eval: sample %d: %w", i, err)
-		}
-		out = append(out, score)
-	}
-	return out, nil
-}
-
 // MethodArm names the three detector arms of every figure, in the order
 // the paper plots them.
 func MethodArms() []detector.Method {
@@ -243,11 +292,13 @@ func MethodArms() []detector.Method {
 }
 
 // EvaluateArms scores the dataset's legit samples and the given attack
-// samples with all three methods and returns one summary per arm.
+// samples with all three methods and returns one summary per arm. Scoring
+// runs on the parallel engine; results are identical to the sequential
+// Scorer's for the same seed.
 func EvaluateArms(ds *Dataset, attackSamples []*Sample, w *device.Wearable, provider SpanProvider, seed int64) ([]Summary, error) {
 	summaries := make([]Summary, 0, 3)
 	for _, method := range MethodArms() {
-		sc, err := NewScorer(method, w, provider, seed)
+		sc, err := NewParallelScorer(method, w, provider, seed)
 		if err != nil {
 			return nil, err
 		}
