@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race bench bench-scoring benchgen
+.PHONY: build test check race fuzz bench bench-scoring benchgen
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ check: build test
 race:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# Short fuzz runs of the WAV decoder and the Eq. (5) alignment; the
+# checked-in corpora under testdata/fuzz/ replay in plain `make test` too.
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/wavio/
+	$(GO) test -fuzz=FuzzAlignRecordings -fuzztime=30s ./internal/syncnet/
 
 # Focused race run for the parallel scoring engine only.
 race-eval:

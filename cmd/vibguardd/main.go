@@ -5,9 +5,14 @@
 // pipeline on a simulated legitimate command and a simulated thru-barrier
 // replay attack.
 //
+// The VA side fetches recordings through the hardened syncnet client:
+// bounded retries with exponential backoff and per-attempt deadlines, so a
+// flaky WiFi link degrades to a typed error instead of a hang.
+//
 // Usage:
 //
-//	vibguardd [-addr 127.0.0.1:0] [-spl 80]
+//	vibguardd [-addr 127.0.0.1:0] [-spl 80] [-retries 4]
+//	          [-retry-base 25ms] [-retry-max 500ms]
 package main
 
 import (
@@ -25,14 +30,21 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "wearable agent listen address")
 	attackSPL := flag.Float64("spl", 80, "attack playback level in dB SPL")
+	retries := flag.Int("retries", 4, "total transport attempts per recording request")
+	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "backoff before the second attempt")
+	retryMax := flag.Duration("retry-max", 500*time.Millisecond, "cap on the exponential backoff")
 	flag.Parse()
-	if err := run(*addr, *attackSPL); err != nil {
+	policy := syncnet.DefaultRetryPolicy()
+	policy.MaxAttempts = *retries
+	policy.BaseDelay = *retryBase
+	policy.MaxDelay = *retryMax
+	if err := run(*addr, *attackSPL, policy); err != nil {
 		fmt.Fprintln(os.Stderr, "vibguardd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, attackSPL float64) error {
+func run(addr string, attackSPL float64, policy syncnet.RetryPolicy) error {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 
 	fmt.Println("vibguardd: training phoneme detector...")
@@ -85,19 +97,22 @@ func run(addr string, attackSPL float64) error {
 		wearRec = vibguard.SimulateNetworkDelay(wearRec, 0.05+rng.Float64()*0.1, rng)
 
 		// The wearable agent serves its recording over TCP; the VA side
-		// dials it and requests the recording, as in the real deployment.
+		// fetches it through the hardened client, as in the real deployment.
+		// Per-connection agent failures go to stderr instead of vanishing.
 		agent, err := syncnet.NewWearableAgent(addr, func(uint64) ([]float64, error) {
 			return wearRec, nil
-		})
+		}, syncnet.WithConnErrorHandler(func(err error) {
+			fmt.Fprintln(os.Stderr, "vibguardd: wearable agent:", err)
+		}))
 		if err != nil {
 			return err
 		}
-		client, err := syncnet.DialWearable(agent.Addr(), 2*time.Second)
+		client, err := syncnet.NewReliableClient(agent.Addr(), syncnet.WithRetryPolicy(policy))
 		if err != nil {
 			_ = agent.Close()
 			return err
 		}
-		fetched, err := client.RequestRecording(10 * time.Second)
+		fetched, err := client.RequestRecording()
 		_ = client.Close()
 		_ = agent.Close()
 		if err != nil {

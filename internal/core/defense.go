@@ -112,7 +112,19 @@ type Verdict struct {
 // stochastic cross-domain sensing. For MethodFull the segmenter (one BRNN
 // inference in production) runs exactly once; the resulting spans feed
 // both the score and the verdict.
+//
+// Inspect is the production entry point, so it validates both recordings
+// first: fatal corruption (empty, non-finite, truncated, or
+// length-inconsistent input) returns one of the typed errors of
+// validate.go instead of a garbage score, and a DC bias is repaired before
+// scoring. The returned score is guaranteed finite. The Score* fast paths
+// skip this and trust their caller (the evaluation engine feeds
+// generator-made samples).
 func (d *Defense) Inspect(vaRec, wearRec []float64, rng *rand.Rand) (*Verdict, error) {
+	vaRec, wearRec, err := d.validatePair(vaRec, wearRec)
+	if err != nil {
+		return nil, err
+	}
 	aligned, tau, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+)
+
+func newValidationDefense(t *testing.T) *Defense {
+	t.Helper()
+	d, err := NewDefense(DefaultConfig(device.NewFossilGen5(), &detector.StaticSegmenter{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInspectTypedErrors(t *testing.T) {
+	d := newValidationDefense(t)
+	rng := rand.New(rand.NewSource(1))
+	va := make([]float64, 16000)
+	for i := range va {
+		va[i] = math.Sin(float64(i) / 9)
+	}
+	wear := make([]float64, 16400)
+	copy(wear, va)
+
+	cases := []struct {
+		name     string
+		va, wear []float64
+		want     error
+	}{
+		{"empty va", nil, wear, ErrEmptyRecording},
+		{"empty wearable", va, nil, ErrEmptyRecording},
+		{"nan in wearable", va, withValue(wear, 100, math.NaN()), ErrNonFiniteRecording},
+		{"inf in va", withValue(va, 5, math.Inf(1)), wear, ErrNonFiniteRecording},
+		{"truncated va", va[:100], wear[:100], ErrRecordingTooShort},
+		{"half-rate wearable", va, wear[:len(va)/2], ErrLengthMismatch},
+		{"overlong wearable", va, make([]float64, 4*len(va)), ErrLengthMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := d.Inspect(tc.va, tc.wear, rng)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+			var issue *RecordingIssue
+			if !errors.As(err, &issue) {
+				t.Errorf("err %v is not a *RecordingIssue", err)
+			}
+		})
+	}
+}
+
+func withValue(x []float64, i int, v float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	out[i] = v
+	return out
+}
+
+// TestInspectRepairsDCOffset verifies graceful degradation: a biased
+// wearable recording is scored, not rejected, and the verdict matches the
+// unbiased one.
+func TestInspectRepairsDCOffset(t *testing.T) {
+	spans, legitVA, legitWear, _, _ := buildScenario(t, 21)
+	d, err := NewDefense(DefaultConfig(device.NewFossilGen5(), &detector.StaticSegmenter{Spans: spans}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := d.Inspect(legitVA, legitWear, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := make([]float64, len(legitWear))
+	for i, v := range legitWear {
+		biased[i] = v + 0.2
+	}
+	repaired, err := d.Inspect(legitVA, biased, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatalf("DC-biased recording should degrade gracefully: %v", err)
+	}
+	if repaired.Attack != clean.Attack {
+		t.Errorf("DC bias flipped the verdict: clean=%v repaired=%v", clean.Attack, repaired.Attack)
+	}
+	if math.Abs(repaired.Score-clean.Score) > 0.05 {
+		t.Errorf("repaired score %v drifted from clean score %v", repaired.Score, clean.Score)
+	}
+}
+
+// TestInspectCleanInputUntouched pins that validation does not perturb
+// healthy recordings: Inspect and the unvalidated Score fast path must
+// agree bit-for-bit, which only holds if sanitization leaves clean input
+// alone.
+func TestInspectCleanInputUntouched(t *testing.T) {
+	spans, legitVA, legitWear, _, _ := buildScenario(t, 23)
+	d, err := NewDefense(DefaultConfig(device.NewFossilGen5(), &detector.StaticSegmenter{Spans: spans}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Inspect(legitVA, legitWear, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Score(legitVA, legitWear, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Score != s {
+		t.Errorf("Inspect score %v != fast-path score %v on clean input", v.Score, s)
+	}
+	if math.IsNaN(v.Score) || math.IsInf(v.Score, 0) {
+		t.Errorf("non-finite score %v", v.Score)
+	}
+}

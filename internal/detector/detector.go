@@ -11,6 +11,7 @@
 package detector
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -204,21 +205,38 @@ func (d *Detector) Score(vaRec, wearRec []float64, rng *rand.Rand) (float64, err
 	return d.ScoreWithSpans(vaRec, wearRec, spans, rng)
 }
 
+// ErrNonFiniteScore is returned when a detector produces a NaN or ±Inf
+// similarity score — degenerate features from corrupt input. The defense
+// layer guarantees callers never see a non-finite score as a value, so a
+// threshold comparison can never silently mis-verdict on NaN (which
+// compares false against every threshold).
+var ErrNonFiniteScore = errors.New("detector: non-finite similarity score")
+
 // ScoreWithSpans scores the pair using caller-provided effective-phoneme
 // spans, bypassing the configured Segmenter entirely. It is the
 // concurrency-safe entry point: the detector reads only immutable
 // configuration, so any number of goroutines may call it at once (each
 // with its own rng). The spans are ignored by the audio- and
-// vibration-domain baselines.
+// vibration-domain baselines. The returned score is always finite; a
+// degenerate computation yields ErrNonFiniteScore instead.
 func (d *Detector) ScoreWithSpans(vaRec, wearRec []float64, spans []segment.Span, rng *rand.Rand) (float64, error) {
+	var score float64
+	var err error
 	switch d.cfg.Method {
 	case MethodAudio:
-		return d.audioScore(vaRec, wearRec)
+		score, err = d.audioScore(vaRec, wearRec)
 	case MethodVibration:
-		return d.vibrationScore(vaRec, wearRec, rng)
+		score, err = d.vibrationScore(vaRec, wearRec, rng)
 	default:
-		return d.fullScore(vaRec, wearRec, spans, rng)
+		score, err = d.fullScore(vaRec, wearRec, spans, rng)
 	}
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		return 0, ErrNonFiniteScore
+	}
+	return score, nil
 }
 
 // Detect reports whether a score indicates a thru-barrier attack.

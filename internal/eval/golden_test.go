@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vibguard/internal/attack"
+	"vibguard/internal/device"
+	"vibguard/internal/selection"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_metrics.json from the current pipeline output")
+
+// goldenArm pins one detector arm's headline metrics for one attack kind.
+type goldenArm struct {
+	Method string  `json:"method"`
+	AUC    float64 `json:"auc"`
+	EER    float64 `json:"eer"`
+}
+
+// goldenMetrics is the on-disk golden file: per-attack-kind metrics of all
+// three detector arms on a small fixed-seed dataset.
+type goldenMetrics struct {
+	Seed  int64                  `json:"seed"`
+	Kinds map[string][]goldenArm `json:"kinds"`
+}
+
+const goldenPath = "testdata/golden_metrics.json"
+
+// goldenDataset is deliberately small: the point is pinning exact pipeline
+// output, not statistical power.
+func computeGoldenMetrics(t *testing.T) *goldenMetrics {
+	t.Helper()
+	const seed = 77
+	ds, err := BuildDataset(DatasetConfig{Participants: 3, CommandsPerUser: 2, AttacksPerKind: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := &OracleProvider{Selected: selection.CanonicalSelected()}
+	out := &goldenMetrics{Seed: seed, Kinds: make(map[string][]goldenArm)}
+	for _, kind := range attack.Kinds() {
+		summaries, err := EvaluateArms(ds, ds.Attacks[kind], device.NewFossilGen5(), provider, seed)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		arms := make([]goldenArm, 0, len(summaries))
+		for _, s := range summaries {
+			arms = append(arms, goldenArm{Method: s.Name, AUC: s.AUC, EER: s.EER})
+		}
+		out.Kinds[kind.String()] = arms
+	}
+	return out
+}
+
+// TestGoldenMetrics pins the end-to-end evaluation output — EER and AUC per
+// attack kind for all three detector arms — against a checked-in golden
+// file. The pipeline is deterministic for a fixed seed, so any drift means
+// a behavioral change in synthesis, acoustics, sensing, scoring, or the
+// metrics themselves; regenerate deliberately with
+//
+//	go test ./internal/eval/ -run TestGoldenMetrics -update-golden
+func TestGoldenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping golden evaluation in -short mode")
+	}
+	got := computeGoldenMetrics(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+	var want goldenMetrics
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != want.Seed {
+		t.Fatalf("golden seed %d != test seed %d", want.Seed, got.Seed)
+	}
+	// Go's JSON float encoding round-trips float64 exactly, so the tolerance
+	// only guards against future encoders that don't.
+	const tol = 1e-9
+	for kind, wantArms := range want.Kinds {
+		gotArms, ok := got.Kinds[kind]
+		if !ok {
+			t.Errorf("attack kind %q missing from current output", kind)
+			continue
+		}
+		if len(gotArms) != len(wantArms) {
+			t.Errorf("%s: %d arms, want %d", kind, len(gotArms), len(wantArms))
+			continue
+		}
+		for i, w := range wantArms {
+			g := gotArms[i]
+			if g.Method != w.Method {
+				t.Errorf("%s arm %d: method %q, want %q", kind, i, g.Method, w.Method)
+				continue
+			}
+			if math.Abs(g.AUC-w.AUC) > tol {
+				t.Errorf("%s/%s: AUC %v, want %v", kind, w.Method, g.AUC, w.AUC)
+			}
+			if math.Abs(g.EER-w.EER) > tol {
+				t.Errorf("%s/%s: EER %v, want %v", kind, w.Method, g.EER, w.EER)
+			}
+		}
+	}
+	for kind := range got.Kinds {
+		if _, ok := want.Kinds[kind]; !ok {
+			t.Errorf("attack kind %q not in golden file (regenerate with -update-golden)", kind)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestSignalSpecDeterministicAndPure(t *testing.T) {
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 7)
+	}
+	orig := make([]float64, len(x))
+	copy(orig, x)
+	kinds := []SignalKind{SignalNone, SignalTruncate, SignalClip, SignalNonFinite,
+		SignalDCOffset, SignalRateMismatch, SignalDropout}
+	for _, kind := range kinds {
+		spec := SignalSpec{Kind: kind, Seed: 42}
+		a := spec.Apply(x)
+		b := spec.Apply(x)
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ across runs: %d vs %d", kind, len(a), len(b))
+		}
+		for i := range a {
+			same := a[i] == b[i] || (math.IsNaN(a[i]) && math.IsNaN(b[i]))
+			if !same {
+				t.Fatalf("%v: sample %d differs across runs: %v vs %v", kind, i, a[i], b[i])
+			}
+		}
+		for i := range x {
+			if x[i] != orig[i] {
+				t.Fatalf("%v: Apply mutated its input at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestSignalTruncate(t *testing.T) {
+	x := make([]float64, 1000)
+	out := SignalSpec{Kind: SignalTruncate, Severity: 0.4}.Apply(x)
+	if len(out) != 400 {
+		t.Errorf("truncated length = %d, want 400", len(out))
+	}
+}
+
+func TestSignalClipBounds(t *testing.T) {
+	x := []float64{-1, -0.5, 0, 0.5, 1}
+	out := SignalSpec{Kind: SignalClip, Severity: 0.5}.Apply(x)
+	for i, v := range out {
+		if v > 0.5 || v < -0.5 {
+			t.Errorf("sample %d = %v exceeds clip limit 0.5", i, v)
+		}
+	}
+}
+
+func TestSignalNonFiniteInjects(t *testing.T) {
+	x := make([]float64, 1000)
+	out := SignalSpec{Kind: SignalNonFinite, Seed: 3}.Apply(x)
+	bad := 0
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Error("no non-finite samples injected")
+	}
+}
+
+func TestSignalDCOffset(t *testing.T) {
+	x := make([]float64, 100)
+	out := SignalSpec{Kind: SignalDCOffset, Severity: 0.25}.Apply(x)
+	for i, v := range out {
+		if v != 0.25 {
+			t.Fatalf("sample %d = %v, want 0.25", i, v)
+		}
+	}
+}
+
+func TestSignalRateMismatchLength(t *testing.T) {
+	x := make([]float64, 1000)
+	out := SignalSpec{Kind: SignalRateMismatch, Severity: 0.5}.Apply(x)
+	if len(out) != 500 {
+		t.Errorf("half-rate length = %d, want 500", len(out))
+	}
+}
+
+func TestSignalEmptyInput(t *testing.T) {
+	for kind := SignalNone; kind <= SignalDropout; kind++ {
+		out := SignalSpec{Kind: kind}.Apply(nil)
+		if len(out) != 0 {
+			t.Errorf("%v: empty input produced %d samples", kind, len(out))
+		}
+	}
+}
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer func() { _ = conn.Close() }()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln
+}
+
+func TestInjectorRefusesDials(t *testing.T) {
+	ln := echoServer(t)
+	defer func() { _ = ln.Close() }()
+	inj := NewInjector(NetSpec{Seed: 1, RefuseDials: 2})
+	dial := inj.WrapDial(nil)
+	for i := 0; i < 2; i++ {
+		if _, err := dial(ln.Addr().String(), time.Second); !errors.Is(err, ErrInjectedRefusal) {
+			t.Fatalf("dial %d: err = %v, want ErrInjectedRefusal", i, err)
+		}
+	}
+	conn, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("third dial should succeed: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestInjectorResetAfterBytes(t *testing.T) {
+	ln := echoServer(t)
+	defer func() { _ = ln.Close() }()
+	inj := NewInjector(NetSpec{Seed: 1, ResetConnections: 1, ResetAfterBytes: 8})
+	dial := inj.WrapDial(nil)
+	conn, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadFull(conn, make([]byte, 64))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read err = %v, want ErrInjectedReset", err)
+	}
+	// The second connection is clean.
+	conn2, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn2.Close() }()
+	if _, err := conn2.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn2, make([]byte, 64)); err != nil {
+		t.Fatalf("clean second connection failed: %v", err)
+	}
+}
+
+func TestInjectorPartialReads(t *testing.T) {
+	ln := echoServer(t)
+	defer func() { _ = ln.Close() }()
+	inj := NewInjector(NetSpec{Seed: 1, ReadChunk: 3})
+	dial := inj.WrapDial(nil)
+	conn, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	msg := []byte("hello, fault injection")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 3 {
+		t.Errorf("single Read returned %d bytes, chunk limit 3", n)
+	}
+	if _, err := io.ReadFull(conn, buf[n:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("reassembled = %q, want %q", buf, msg)
+	}
+}
+
+func TestMixMatchesSampleSeedScheme(t *testing.T) {
+	// Distinct (seed, index) pairs must map to distinct streams; identical
+	// pairs to identical streams.
+	if Mix(1, 0) == Mix(1, 1) || Mix(1, 0) == Mix(2, 0) {
+		t.Error("Mix collides on adjacent inputs")
+	}
+	if Mix(7, 3) != Mix(7, 3) {
+		t.Error("Mix is not a pure function")
+	}
+}

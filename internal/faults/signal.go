@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+
+	"vibguard/internal/dsp"
+)
+
+// SignalKind identifies one class of recording corruption. The kinds model
+// the degraded-capture failure modes of a real deployment: a wearable that
+// stops recording early (truncation), saturates its microphone (clipping),
+// produces sensor glitches (non-finite samples), carries a miscalibrated
+// ADC bias (DC offset), reports the wrong sample rate (rate mismatch), or
+// drops buffers under load (dropout).
+type SignalKind int
+
+// Signal corruption kinds.
+const (
+	// SignalNone leaves the recording untouched (a copy is still returned).
+	SignalNone SignalKind = iota
+	// SignalTruncate keeps only the leading Severity fraction of samples.
+	SignalTruncate
+	// SignalClip hard-clips at Severity times the peak absolute amplitude.
+	SignalClip
+	// SignalNonFinite replaces scattered samples with NaN/±Inf.
+	SignalNonFinite
+	// SignalDCOffset adds a constant Severity offset to every sample.
+	SignalDCOffset
+	// SignalRateMismatch resamples by factor Severity while the nominal
+	// rate stays unchanged, as if the device misreported its clock.
+	SignalRateMismatch
+	// SignalDropout zeroes random windows totalling a Severity fraction of
+	// the recording.
+	SignalDropout
+)
+
+// String names the kind for test output.
+func (k SignalKind) String() string {
+	switch k {
+	case SignalNone:
+		return "none"
+	case SignalTruncate:
+		return "truncate"
+	case SignalClip:
+		return "clip"
+	case SignalNonFinite:
+		return "nonfinite"
+	case SignalDCOffset:
+		return "dc-offset"
+	case SignalRateMismatch:
+		return "rate-mismatch"
+	case SignalDropout:
+		return "dropout"
+	default:
+		return "unknown"
+	}
+}
+
+// SignalSpec configures one deterministic recording corruption.
+type SignalSpec struct {
+	// Kind selects the corruption.
+	Kind SignalKind
+	// Severity scales it; the meaning is kind-specific (see the kind
+	// constants). Zero applies a kind-specific default.
+	Severity float64
+	// Seed drives the corruption's random placement decisions.
+	Seed int64
+}
+
+// defaultSeverity returns the per-kind severity used when the spec leaves
+// it zero.
+func (s SignalSpec) defaultSeverity() float64 {
+	switch s.Kind {
+	case SignalTruncate:
+		return 0.4
+	case SignalClip:
+		return 0.3
+	case SignalNonFinite:
+		return 0.001
+	case SignalDCOffset:
+		return 0.2
+	case SignalRateMismatch:
+		return 0.5
+	case SignalDropout:
+		return 0.2
+	default:
+		return 0
+	}
+}
+
+// Apply returns a corrupted copy of x. The input is never mutated, and the
+// output depends only on (x, Kind, Severity, Seed) — same spec, same bytes.
+func (s SignalSpec) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	if len(out) == 0 {
+		return out
+	}
+	sev := s.Severity
+	if sev == 0 {
+		sev = s.defaultSeverity()
+	}
+	rng := rand.New(rand.NewSource(Mix(s.Seed, int64(s.Kind))))
+	switch s.Kind {
+	case SignalTruncate:
+		n := int(float64(len(out)) * sev)
+		if n < 1 {
+			n = 1
+		}
+		if n > len(out) {
+			n = len(out)
+		}
+		out = out[:n]
+	case SignalClip:
+		limit := dsp.MaxAbs(out) * sev
+		for i, v := range out {
+			if v > limit {
+				out[i] = limit
+			} else if v < -limit {
+				out[i] = -limit
+			}
+		}
+	case SignalNonFinite:
+		n := int(float64(len(out)) * sev)
+		if n < 1 {
+			n = 1
+		}
+		bad := [3]float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+		for i := 0; i < n; i++ {
+			out[rng.Intn(len(out))] = bad[i%len(bad)]
+		}
+	case SignalDCOffset:
+		for i := range out {
+			out[i] += sev
+		}
+	case SignalRateMismatch:
+		resampled, err := dsp.Resample(out, 1, sev)
+		if err == nil && len(resampled) > 0 {
+			out = resampled
+		}
+	case SignalDropout:
+		const windows = 4
+		total := int(float64(len(out)) * sev)
+		winLen := total / windows
+		if winLen < 1 {
+			winLen = 1
+		}
+		for w := 0; w < windows; w++ {
+			start := rng.Intn(len(out))
+			for i := start; i < start+winLen && i < len(out); i++ {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}

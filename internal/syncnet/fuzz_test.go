@@ -1,0 +1,102 @@
+package syncnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzBytesToSamples maps fuzz bytes onto audio samples, reserving two byte
+// values for non-finite samples so the alignment path is exercised against
+// sensor-glitch input too.
+func fuzzBytesToSamples(data []byte) []float64 {
+	out := make([]float64, len(data))
+	for i, b := range data {
+		switch b {
+		case 0xFF:
+			out[i] = math.NaN()
+		case 0xFE:
+			out[i] = math.Inf(1)
+		default:
+			out[i] = (float64(b) - 128) / 128
+		}
+	}
+	return out
+}
+
+// FuzzAlignRecordings drives the Eq. (5) alignment with adversarial signal
+// pairs — empty, short, constant, and non-finite — plus unconstrained lag
+// bounds and sample rates. It must never panic; on success the offset must
+// be in range and the aligned length consistent. Seed corpora live in
+// testdata/fuzz/FuzzAlignRecordings.
+func FuzzAlignRecordings(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{1, 2, 3, 4}, 0.5, 16000.0)
+	f.Add([]byte{}, []byte{9}, 0.5, 16000.0)
+	f.Add([]byte{128}, []byte{}, 0.5, 16000.0)
+	// Constant signals: zero variance, degenerate correlation.
+	f.Add(bytesOf(100, 64), bytesOf(100, 200), 0.5, 16000.0)
+	f.Add(bytesOf(128, 300), bytesOf(128, 300), 0.1, 16000.0)
+	// Non-finite samples.
+	f.Add([]byte{0xFF, 0xFE, 1, 2, 0xFF}, []byte{3, 0xFE, 0xFF, 4, 5}, 0.5, 16000.0)
+	// Hostile lag bounds and rates.
+	f.Add(bytesOf(7, 32), bytesOf(7, 32), math.Inf(1), 16000.0)
+	f.Add(bytesOf(7, 32), bytesOf(7, 32), math.NaN(), 16000.0)
+	f.Add(bytesOf(7, 32), bytesOf(7, 32), -3.0, 16000.0)
+	f.Add(bytesOf(7, 32), bytesOf(7, 32), 0.5, -1.0)
+	f.Add(bytesOf(7, 32), bytesOf(7, 32), 1e300, 1e300)
+
+	f.Fuzz(func(t *testing.T, vaB, wearB []byte, maxLag, rate float64) {
+		va := fuzzBytesToSamples(vaB)
+		wear := fuzzBytesToSamples(wearB)
+		aligned, tau, err := AlignRecordings(va, wear, maxLag, rate)
+		if err != nil {
+			if !errors.Is(err, ErrNoOverlap) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		if tau < 0 || tau >= len(wear) {
+			t.Fatalf("offset %d out of range [0, %d)", tau, len(wear))
+		}
+		if len(aligned) != len(wear)-tau {
+			t.Fatalf("aligned length %d != %d - %d", len(aligned), len(wear), tau)
+		}
+	})
+}
+
+func bytesOf(v byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestAlignRecordingsDegenerateSignals pins the fuzz findings as plain
+// tests: constant, tiny, and non-finite signals must align without panics
+// and with in-range offsets.
+func TestAlignRecordingsDegenerateSignals(t *testing.T) {
+	constant := make([]float64, 4000)
+	for i := range constant {
+		constant[i] = 0.5
+	}
+	if _, tau, err := AlignRecordings(constant, constant, 0.5, 16000); err != nil || tau < 0 || tau >= len(constant) {
+		t.Errorf("constant signals: tau=%d err=%v", tau, err)
+	}
+	withNaN := make([]float64, 2000)
+	withNaN[7] = math.NaN()
+	withNaN[1999] = math.Inf(-1)
+	aligned, tau, err := AlignRecordings(withNaN, withNaN, 0.5, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0 || tau >= len(withNaN) || len(aligned) != len(withNaN)-tau {
+		t.Errorf("non-finite signals: tau=%d len=%d", tau, len(aligned))
+	}
+	// Non-finite lag bounds clamp instead of corrupting the conversion.
+	for _, lag := range []float64{math.NaN(), math.Inf(1), -5, 1e300} {
+		if _, tau, err := AlignRecordings(constant, constant, lag, 16000); err != nil || tau < 0 || tau >= len(constant) {
+			t.Errorf("lag %v: tau=%d err=%v", lag, tau, err)
+		}
+	}
+}

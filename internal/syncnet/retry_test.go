@@ -1,0 +1,238 @@
+package syncnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// fastPolicy keeps test retries snappy.
+func fastPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 2}
+}
+
+func TestBackoffSequence(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{10, 20, 40, 45, 45}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if got := p.Backoff(-3); got != 10*time.Millisecond {
+		t.Errorf("Backoff(-3) = %v, want base delay", got)
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	bad := []RetryPolicy{
+		{MaxAttempts: 0, Multiplier: 2},
+		{MaxAttempts: 1, Multiplier: 0.5},
+		{MaxAttempts: 1, Multiplier: 2, BaseDelay: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %d should fail validation", i)
+		}
+	}
+	if err := DefaultRetryPolicy().Validate(); err != nil {
+		t.Errorf("default policy invalid: %v", err)
+	}
+}
+
+func TestReliableClientRoundTrip(t *testing.T) {
+	want := []float64{1, 2, 3}
+	agent, err := NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) { return want, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+	rc, err := NewReliableClient(agent.Addr(), WithRetryPolicy(fastPolicy(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rc.Close() }()
+	got, err := rc.RequestRecording()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(got), len(want))
+	}
+	if rc.Attempts() != 1 || rc.Redials() != 1 {
+		t.Errorf("attempts=%d redials=%d, want 1/1", rc.Attempts(), rc.Redials())
+	}
+	// Second request reuses the connection.
+	if _, err := rc.RequestRecording(); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Redials() != 1 {
+		t.Errorf("second request redialed (%d)", rc.Redials())
+	}
+}
+
+func TestReliableClientRetriesTransientDialFailure(t *testing.T) {
+	agent, err := NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) { return []float64{7}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+	failures := 2
+	dial := func(addr string, timeout time.Duration) (net.Conn, error) {
+		if failures > 0 {
+			failures--
+			return nil, fmt.Errorf("transient dial failure")
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	rc, err := NewReliableClient(agent.Addr(), WithDialFunc(dial), WithRetryPolicy(fastPolicy(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rc.Close() }()
+	if _, err := rc.RequestRecording(); err != nil {
+		t.Fatalf("request should survive two dial failures: %v", err)
+	}
+	if rc.Attempts() != 3 {
+		t.Errorf("attempts = %d, want 3", rc.Attempts())
+	}
+}
+
+func TestReliableClientExhaustsRetries(t *testing.T) {
+	dial := func(string, time.Duration) (net.Conn, error) {
+		return nil, fmt.Errorf("unreachable")
+	}
+	rc, err := NewReliableClient("127.0.0.1:1", WithDialFunc(dial), WithRetryPolicy(fastPolicy(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rc.RequestRecording()
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if rc.Attempts() != 3 {
+		t.Errorf("attempts = %d, want 3", rc.Attempts())
+	}
+}
+
+func TestReliableClientDoesNotRetryWearableErrors(t *testing.T) {
+	agent, err := NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) {
+		return nil, fmt.Errorf("microphone busy")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+	rc, err := NewReliableClient(agent.Addr(), WithRetryPolicy(fastPolicy(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rc.Close() }()
+	_, err = rc.RequestRecording()
+	var wearErr *WearableError
+	if !errors.As(err, &wearErr) {
+		t.Fatalf("err = %v, want *WearableError", err)
+	}
+	if rc.Attempts() != 1 {
+		t.Errorf("wearable-side error retried: %d attempts", rc.Attempts())
+	}
+}
+
+func TestDialWearableRetry(t *testing.T) {
+	if _, err := DialWearableRetry("127.0.0.1:1", 50*time.Millisecond, fastPolicy(2)); !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("dial to closed port: err = %v, want ErrRetriesExhausted", err)
+	}
+	agent, err := NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) { return []float64{1}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+	client, err := DialWearableRetry(agent.Addr(), time.Second, fastPolicy(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	if _, err := client.RequestRecording(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgentSurvivesMidStreamReset pins the handle() error-propagation fix:
+// a connection torn down mid-stream must be counted as a per-connection
+// error, and the agent must keep serving subsequent clients.
+func TestAgentSurvivesMidStreamReset(t *testing.T) {
+	var reported []error
+	agent, err := NewWearableAgent("127.0.0.1:0",
+		func(uint64) ([]float64, error) { return []float64{9}, nil },
+		WithConnErrorHandler(func(err error) { reported = append(reported, err) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	// Write a garbage partial frame, then reset the connection hard.
+	raw, err := net.Dial("tcp", agent.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte{0xff, 0x13, 0x37}); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = raw.Close()
+
+	// The agent must notice the failure...
+	deadline := time.Now().Add(2 * time.Second)
+	for agent.ConnErrors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if agent.ConnErrors() == 0 {
+		t.Fatal("mid-stream reset was silently dropped")
+	}
+	if agent.LastConnError() == nil {
+		t.Error("LastConnError is nil after a reset")
+	}
+
+	// ...and still serve a fresh client.
+	client, err := DialWearable(agent.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	got, err := client.RequestRecording(2 * time.Second)
+	if err != nil {
+		t.Fatalf("agent stopped serving after a reset: %v", err)
+	}
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("recording = %v", got)
+	}
+	if len(reported) == 0 {
+		t.Error("error handler was never invoked")
+	}
+}
+
+// TestAgentCleanDisconnectNotCounted verifies a polite client close is not
+// treated as a failure.
+func TestAgentCleanDisconnectNotCounted(t *testing.T) {
+	agent, err := NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) { return []float64{1}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+	client, err := DialWearable(agent.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.RequestRecording(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	time.Sleep(20 * time.Millisecond)
+	if n := agent.ConnErrors(); n != 0 {
+		t.Errorf("clean disconnect counted as %d errors (last: %v)", n, agent.LastConnError())
+	}
+}

@@ -15,9 +15,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vibguard/internal/dsp"
@@ -58,26 +61,73 @@ type RecordFunc func(sessionID uint64) ([]float64, error)
 type WearableAgent struct {
 	listener net.Listener
 	record   RecordFunc
+	onError  func(error)
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	errCount atomic.Uint64
+
+	mu      sync.Mutex
+	closed  bool
+	lastErr error
+	wg      sync.WaitGroup
+}
+
+// AgentOption configures a WearableAgent.
+type AgentOption func(*WearableAgent)
+
+// WithConnErrorHandler installs a callback invoked (from the connection's
+// goroutine) for every per-connection failure: decode errors from corrupt
+// or reset streams, record-func failures, and reply-encode errors. Clean
+// client disconnects (EOF between frames) are not reported.
+func WithConnErrorHandler(fn func(error)) AgentOption {
+	return func(a *WearableAgent) { a.onError = fn }
 }
 
 // NewWearableAgent starts a wearable agent listening on addr
 // (e.g. "127.0.0.1:0").
-func NewWearableAgent(addr string, record RecordFunc) (*WearableAgent, error) {
+func NewWearableAgent(addr string, record RecordFunc, opts ...AgentOption) (*WearableAgent, error) {
 	if record == nil {
 		return nil, fmt.Errorf("syncnet: nil record func")
+	}
+	a := &WearableAgent{record: record}
+	for _, opt := range opts {
+		opt(a)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("syncnet: listen: %w", err)
 	}
-	a := &WearableAgent{listener: ln, record: record}
+	a.listener = ln
 	a.wg.Add(1)
 	go a.serve()
 	return a, nil
+}
+
+// ConnErrors returns the number of per-connection failures observed since
+// the agent started. A reset mid-stream counts once; the agent keeps
+// serving other connections.
+func (a *WearableAgent) ConnErrors() uint64 { return a.errCount.Load() }
+
+// LastConnError returns the most recent per-connection failure (nil if
+// none).
+func (a *WearableAgent) LastConnError() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// reportConnError records a per-connection failure instead of silently
+// dropping it: the counter and last-error snapshot feed health metrics, and
+// the optional handler feeds logs. The handler runs before the counter
+// increment, so an observer that sees ConnErrors() > 0 is guaranteed the
+// handler for that failure already completed.
+func (a *WearableAgent) reportConnError(err error) {
+	if a.onError != nil {
+		a.onError(err)
+	}
+	a.mu.Lock()
+	a.lastErr = err
+	a.mu.Unlock()
+	a.errCount.Add(1)
 }
 
 // Addr returns the agent's listen address.
@@ -119,15 +169,23 @@ func (a *WearableAgent) handle(conn net.Conn) {
 	for {
 		var msg Message
 		if err := dec.Decode(&msg); err != nil {
-			return // connection closed or corrupt
+			// A clean EOF between frames is a normal client disconnect;
+			// anything else (mid-frame reset, corrupt stream) is a real
+			// per-connection failure and must be surfaced, not swallowed.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				a.reportConnError(fmt.Errorf("syncnet: agent decode: %w", err))
+			}
+			return
 		}
 		if msg.Type != MsgTrigger {
+			a.reportConnError(fmt.Errorf("syncnet: agent: unexpected message type %d", msg.Type))
 			_ = enc.Encode(&Message{Type: MsgError, SessionID: msg.SessionID, Error: "unexpected message type"})
 			continue
 		}
 		samples, err := a.record(msg.SessionID)
 		reply := Message{SessionID: msg.SessionID, SentAt: time.Now()}
 		if err != nil {
+			a.reportConnError(fmt.Errorf("syncnet: agent record: %w", err))
 			reply.Type = MsgError
 			reply.Error = err.Error()
 		} else {
@@ -135,6 +193,9 @@ func (a *WearableAgent) handle(conn net.Conn) {
 			reply.Samples = samples
 		}
 		if err := enc.Encode(&reply); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				a.reportConnError(fmt.Errorf("syncnet: agent encode: %w", err))
+			}
 			return
 		}
 	}
@@ -150,9 +211,15 @@ type VAClient struct {
 	session uint64
 }
 
-// DialWearable connects to a wearable agent.
+// DialWearable connects to a wearable agent with a single attempt; see
+// DialWearableRetry and ReliableClient for the hardened paths.
 func DialWearable(addr string, timeout time.Duration) (*VAClient, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return dialWearableVia(tcpDial, addr, timeout)
+}
+
+// dialWearableVia connects through an arbitrary transport dial.
+func dialWearableVia(dial DialFunc, addr string, timeout time.Duration) (*VAClient, error) {
+	conn, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("syncnet: dial: %w", err)
 	}
@@ -188,7 +255,7 @@ func (c *VAClient) RequestRecording(timeout time.Duration) ([]float64, error) {
 	case MsgRecording:
 		return reply.Samples, nil
 	case MsgError:
-		return nil, fmt.Errorf("syncnet: wearable error: %s", reply.Error)
+		return nil, &WearableError{Msg: reply.Error}
 	default:
 		return nil, fmt.Errorf("syncnet: unexpected reply type %d", reply.Type)
 	}
@@ -225,12 +292,15 @@ func AlignRecordings(va, wearable []float64, maxLagSeconds, sampleRate float64) 
 	if len(va) == 0 || len(wearable) == 0 {
 		return nil, 0, ErrNoOverlap
 	}
-	maxLag := int(maxLagSeconds * sampleRate)
-	if maxLag >= len(wearable) {
-		maxLag = len(wearable) - 1
+	// Clamp in the float domain first: a non-finite or absurd product would
+	// make the float-to-int conversion implementation-defined.
+	lagf := maxLagSeconds * sampleRate
+	if math.IsNaN(lagf) || lagf < 0 {
+		lagf = 0
 	}
-	if maxLag < 0 {
-		maxLag = 0
+	maxLag := len(wearable) - 1
+	if lagf < float64(maxLag) {
+		maxLag = int(lagf)
 	}
 	tau := dsp.EstimateDelayFast(va, wearable, maxLag)
 	aligned := make([]float64, len(wearable)-tau)

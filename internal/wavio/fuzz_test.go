@@ -1,0 +1,118 @@
+package wavio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzRead hammers the WAV decoder with malformed input: corrupt headers,
+// absurd chunk sizes, truncated data chunks, and zero/absurd sample rates.
+// The decoder must never panic or over-allocate; on success the samples
+// must be finite, in range, and the sample rate sane. Seed corpora live in
+// testdata/fuzz/FuzzRead.
+func FuzzRead(f *testing.F) {
+	// A valid tiny file.
+	var valid bytes.Buffer
+	if err := Write(&valid, []float64{0, 0.5, -0.5, 1, -1}, 16000); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// A valid file with an unknown chunk before the data chunk.
+	withList := injectChunk(valid.Bytes(), "LIST", []byte("INFOjunk"))
+	f.Add(withList)
+	// Truncated variants.
+	f.Add(valid.Bytes()[:20])
+	f.Add(valid.Bytes()[:45])
+	// Not RIFF at all.
+	f.Add([]byte("not a wav file"))
+	// Zero sample rate.
+	f.Add(mutateUint32(valid.Bytes(), 24, 0))
+	// Absurd sample rate.
+	f.Add(mutateUint32(valid.Bytes(), 24, 0xFFFFFFFF))
+	// Data chunk declaring 4 GiB.
+	f.Add(mutateUint32(valid.Bytes(), 40, 0xFFFFFFFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, rate, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rate <= 0 || rate > MaxSampleRate {
+			t.Fatalf("accepted sample rate %d", rate)
+		}
+		for i, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("sample %d is non-finite: %v", i, s)
+			}
+			// int16 / 32767 can slightly exceed -1 at the negative rail.
+			if s < -1.001 || s > 1.001 {
+				t.Fatalf("sample %d = %v outside [-1, 1]", i, s)
+			}
+		}
+	})
+}
+
+// mutateUint32 returns a copy of data with a little-endian uint32 patched
+// in at off.
+func mutateUint32(data []byte, off int, v uint32) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if off+4 <= len(out) {
+		binary.LittleEndian.PutUint32(out[off:], v)
+	}
+	return out
+}
+
+// injectChunk inserts an extra chunk between the fmt and data chunks of a
+// canonical 44-byte-header WAV.
+func injectChunk(data []byte, id string, body []byte) []byte {
+	const dataChunkOff = 36
+	out := make([]byte, 0, len(data)+8+len(body))
+	out = append(out, data[:dataChunkOff]...)
+	out = append(out, id[:4]...)
+	var size [4]byte
+	binary.LittleEndian.PutUint32(size[:], uint32(len(body)))
+	out = append(out, size[:]...)
+	out = append(out, body...)
+	out = append(out, data[dataChunkOff:]...)
+	// Fix the RIFF size field.
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(out)-8))
+	return out
+}
+
+// TestReadRejectsAbsurdInput pins the fuzz-hardening fixes as plain tests,
+// so the guarantees hold even when fuzzing is not run.
+func TestReadRejectsAbsurdInput(t *testing.T) {
+	var valid bytes.Buffer
+	if err := Write(&valid, []float64{0.25, -0.25}, 16000); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"zero sample rate", mutateUint32(valid.Bytes(), 24, 0)},
+		{"absurd sample rate", mutateUint32(valid.Bytes(), 24, 0xFFFFFFFF)},
+		{"4GiB data chunk", mutateUint32(valid.Bytes(), 40, 0xFFFFFFFF)},
+		{"4GiB fmt chunk", mutateUint32(valid.Bytes(), 16, 0xFFFFFFFF)},
+		{"truncated data", valid.Bytes()[:46]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Read(bytes.NewReader(tc.data)); err == nil {
+				t.Error("corrupt stream accepted")
+			}
+		})
+	}
+	// The unknown-chunk path must still work.
+	withList := injectChunk(valid.Bytes(), "LIST", []byte("INFO"))
+	samples, rate, err := Read(bytes.NewReader(withList))
+	if err != nil {
+		t.Fatalf("valid file with LIST chunk rejected: %v", err)
+	}
+	if rate != 16000 || len(samples) != 2 {
+		t.Errorf("rate=%d samples=%d", rate, len(samples))
+	}
+}

@@ -15,6 +15,16 @@ import (
 // fmtChunkPCM is the PCM audio format tag.
 const fmtChunkPCM = 1
 
+// MaxSampleRate is the largest sample rate Read accepts. Real WAV files
+// top out at 384 kHz; anything beyond this is a corrupt header.
+const MaxSampleRate = 1 << 20
+
+// maxChunkBytes caps a single chunk's declared size (64 MiB, ~35 minutes
+// of 16 kHz mono audio). A corrupt or adversarial header can declare a
+// 4 GiB chunk; without the cap, Read would attempt the allocation before
+// ever touching the (much shorter) stream.
+const maxChunkBytes = 64 << 20
+
 // Write encodes samples in [-1, 1] as a mono 16-bit PCM WAV stream.
 // Samples outside the range are clipped.
 func Write(w io.Writer, samples []float64, sampleRate int) error {
@@ -94,6 +104,9 @@ func Read(r io.Reader) ([]float64, int, error) {
 		}
 		id := string(chunk[0:4])
 		size := binary.LittleEndian.Uint32(chunk[4:8])
+		if size > maxChunkBytes {
+			return nil, 0, fmt.Errorf("wavio: %q chunk declares %d bytes (max %d)", id, size, maxChunkBytes)
+		}
 		switch id {
 		case "fmt ":
 			body := make([]byte, size)
@@ -114,6 +127,9 @@ func Read(r io.Reader) ([]float64, int, error) {
 			}
 			if bits != 16 {
 				return nil, 0, fmt.Errorf("wavio: %d-bit samples unsupported (want 16)", bits)
+			}
+			if sampleRate <= 0 || sampleRate > MaxSampleRate {
+				return nil, 0, fmt.Errorf("wavio: sample rate %d outside (0, %d]", sampleRate, MaxSampleRate)
 			}
 			haveFmt = true
 		case "data":
