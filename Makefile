@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring benchgen
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp benchgen
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ bench:
 # the output).
 bench-scoring:
 	$(GO) test -bench='BenchmarkDatasetScoring|BenchmarkScoreAll' -run=^$$ . ./internal/eval/
+
+# DSP micro-benchmark baseline: runs the shared kernels (planned engine vs
+# preserved legacy implementations) and rewrites the checked-in
+# BENCH_dsp.json so future PRs have a perf trajectory.
+bench-dsp:
+	$(GO) run ./cmd/benchdsp -out BENCH_dsp.json
 
 benchgen:
 	$(GO) run ./cmd/benchgen -quick

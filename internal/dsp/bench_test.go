@@ -1,0 +1,48 @@
+package dsp_test
+
+import (
+	"testing"
+
+	"vibguard/internal/dsp/dspbench"
+)
+
+// The benchmark bodies live in dspbench so that cmd/benchdsp (which writes
+// the BENCH_dsp.json baseline) measures exactly the same kernels as
+// `go test -bench` / `make bench-dsp`.
+
+func runGroup(b *testing.B, group string) {
+	ran := false
+	for _, c := range dspbench.Cases() {
+		if c.Group == group {
+			ran = true
+			b.Run(c.Name, c.Fn)
+		}
+	}
+	if !ran {
+		b.Fatalf("no benchmark cases in group %q", group)
+	}
+}
+
+// BenchmarkFFTPlan measures a planned 1024-point transform into a reused
+// destination (zero allocations) next to the legacy per-call transform.
+func BenchmarkFFTPlan(b *testing.B) { runGroup(b, "FFTPlan") }
+
+// BenchmarkSTFT measures the planned zero-alloc spectrogram on the paper's
+// vibration configuration (64-point frames at 200 Hz) and an audio-scale
+// configuration (512-point frames at 16 kHz).
+func BenchmarkSTFT(b *testing.B) { runGroup(b, "STFT") }
+
+// BenchmarkSTFTLegacy is the pre-plan implementation on the same inputs.
+func BenchmarkSTFTLegacy(b *testing.B) { runGroup(b, "STFTLegacy") }
+
+// BenchmarkEstimateDelayFFT measures the frequency-domain Eq. (5) delay
+// search on a sync-sized problem (16k samples, 8k max lag).
+func BenchmarkEstimateDelayFFT(b *testing.B) { runGroup(b, "EstimateDelayFFT") }
+
+// BenchmarkEstimateDelayLegacy is the direct O(n*maxLag) search on the same
+// problem.
+func BenchmarkEstimateDelayLegacy(b *testing.B) { runGroup(b, "EstimateDelayLegacy") }
+
+// BenchmarkPowerSpectrum measures the packed real-input spectrum against
+// the legacy full-length complex transform.
+func BenchmarkPowerSpectrum(b *testing.B) { runGroup(b, "PowerSpectrum") }

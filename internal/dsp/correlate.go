@@ -3,6 +3,7 @@ package dsp
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // CrossCorrelate computes the raw cross-correlation Corr(tau) =
@@ -10,10 +11,26 @@ import (
 // synchronization of Eq. (5): a is the VA recording, b the wearable
 // recording, and the argmax lag estimates how many samples of b precede the
 // content of a.
+//
+// Small problems use the direct O(n*maxLag) loop; above the crossover where
+// the transform work pays for itself the values are computed in O(m log m)
+// via the planned FFT engine (see CrossCorrelateFFT). Both paths compute
+// the same sums, differing only by floating-point rounding on the order of
+// machine epsilon.
 func CrossCorrelate(a, b []float64, maxLag int) []float64 {
 	if maxLag < 0 {
 		maxLag = 0
 	}
+	if useFFTCorrelation(len(a), len(b), maxLag) {
+		return CrossCorrelateFFT(a, b, maxLag)
+	}
+	return crossCorrelateDirect(a, b, maxLag)
+}
+
+// crossCorrelateDirect is the reference O(n*maxLag) correlation loop, kept
+// both as the below-crossover fast path (tiny problems don't amortize a
+// transform) and as the ground truth the FFT path is pinned against.
+func crossCorrelateDirect(a, b []float64, maxLag int) []float64 {
 	out := make([]float64, maxLag+1)
 	for tau := 0; tau <= maxLag; tau++ {
 		sum := 0.0
@@ -25,10 +42,160 @@ func CrossCorrelate(a, b []float64, maxLag int) []float64 {
 	return out
 }
 
+// useFFTCorrelation decides whether the transform path beats the direct
+// loop: roughly (maxLag+1)*minLen multiply-adds against two planned FFTs of
+// the padded length. The factor under-weights the FFT (whose constant per
+// butterfly is higher than a fused multiply-add in the direct loop).
+func useFFTCorrelation(na, nb, maxLag int) bool {
+	if na == 0 || nb == 0 {
+		return false
+	}
+	minLen := na
+	if nb < minLen {
+		minLen = nb
+	}
+	direct := float64(maxLag+1) * float64(minLen)
+	m := float64(corrFFTLength(na, nb, maxLag))
+	return direct > 8*m*math.Log2(m)
+}
+
+// corrFFTLength returns the power-of-two transform length that keeps the
+// circular correlation free of wraparound for lags 0..maxLag: indices reach
+// na-1+maxLag, and b must fit.
+func corrFFTLength(na, nb, maxLag int) int {
+	need := na + maxLag
+	if nb > need {
+		need = nb
+	}
+	return NextPow2(need)
+}
+
+// corrBufPool recycles the large transform buffers of the FFT correlation
+// path. AlignRecordings runs once per scored sample from every
+// ParallelScorer worker, so steady-state delay estimation allocates
+// nothing; sync.Pool keeps recycling per-P and race-safe.
+var corrBufPool sync.Pool
+
+// getCorrBuf hands out a zeroed m-entry buffer plus the boxed header
+// pointer that travels through the pool with it. The header is boxed
+// here, once per fresh allocation — never in putCorrBuf, where taking a
+// parameter's address would force a heap copy on every call.
+func getCorrBuf(m int) ([]complex128, *[]complex128) {
+	if v := corrBufPool.Get(); v != nil {
+		ptr := v.(*[]complex128)
+		if cap(*ptr) >= m {
+			buf := (*ptr)[:m]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return buf, ptr
+		}
+	}
+	ptr := new([]complex128)
+	*ptr = make([]complex128, m)
+	return *ptr, ptr
+}
+
+func putCorrBuf(ptr *[]complex128) {
+	corrBufPool.Put(ptr)
+}
+
+// corrSpectrum computes the circular cross-correlation of a and b (scaled
+// by m, the returned transform length) into a pooled buffer: entry tau
+// holds m*Corr(tau) in its real part for tau in [0, maxLag]. The caller
+// must return the buffer with putCorrBuf.
+func corrSpectrum(a, b []float64, maxLag int) ([]complex128, *[]complex128, int) {
+	m := corrFFTLength(len(a), len(b), maxLag)
+	p := mustPlanFFT(m)
+	f, ptr := getCorrBuf(m)
+	for i, v := range a {
+		f[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		f[i] = complex(real(f[i]), v)
+	}
+	p.transform(f, p.fwd)
+	// For packed f = a + i*b the individual spectra are
+	//   A[k] = (F[k] + conj(F[m-k]))/2,  B[k] = -i*(F[k] - conj(F[m-k]))/2,
+	// and the cross-spectrum S[k] = conj(A[k])*B[k] is Hermitian (the
+	// correlation is real), so only half of it needs computing.
+	half := m / 2
+	for k := 0; k <= half; k++ {
+		fk := f[k]
+		fmk := f[(m-k)%m]
+		h := complex(real(fmk), -imag(fmk))
+		ak := (fk + h) * complex(0.5, 0)
+		bk := (fk - h) * complex(0, -0.5)
+		s := complex(real(ak), -imag(ak)) * bk
+		f[k] = s
+		if k != 0 && k != half {
+			f[m-k] = complex(real(s), -imag(s))
+		}
+	}
+	p.transform(f, p.inv)
+	return f, ptr, m
+}
+
+// CrossCorrelateFFT computes the same lags as CrossCorrelate via the
+// frequency domain: both signals are packed into one complex transform
+// (a in the real lane, b in the imaginary lane), the conjugate
+// cross-spectrum conj(A)*B is assembled from the packed spectrum's
+// Hermitian halves, and a single inverse transform yields the correlation.
+// Two planned FFTs total, O(m log m) independent of maxLag.
+func CrossCorrelateFFT(a, b []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return make([]float64, maxLag+1)
+	}
+	f, ptr, m := corrSpectrum(a, b, maxLag)
+	inv := 1 / float64(m)
+	out := make([]float64, maxLag+1)
+	for tau := range out {
+		out[tau] = real(f[tau]) * inv
+	}
+	putCorrBuf(ptr)
+	return out
+}
+
 // EstimateDelay returns the lag in [0, maxLag] that maximizes the
 // cross-correlation of a and b (Eq. 5). Ties resolve to the smallest lag.
+// Above the correlation crossover size the search runs on the FFT path.
 func EstimateDelay(a, b []float64, maxLag int) int {
-	corr := CrossCorrelate(a, b, maxLag)
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	if useFFTCorrelation(len(a), len(b), maxLag) {
+		return EstimateDelayFFT(a, b, maxLag)
+	}
+	return argmaxLag(crossCorrelateDirect(a, b, maxLag))
+}
+
+// EstimateDelayFFT is EstimateDelay forced onto the frequency-domain
+// correlation path regardless of problem size (benchmarks and equivalence
+// tests pin it against the direct loop). With the pooled transform buffer
+// the steady-state search allocates nothing.
+func EstimateDelayFFT(a, b []float64, maxLag int) int {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	f, ptr, m := corrSpectrum(a, b, maxLag)
+	inv := 1 / float64(m)
+	best, bestVal := 0, math.Inf(-1)
+	for tau := 0; tau <= maxLag; tau++ {
+		if v := real(f[tau]) * inv; v > bestVal {
+			best, bestVal = tau, v
+		}
+	}
+	putCorrBuf(ptr)
+	return best
+}
+
+func argmaxLag(corr []float64) int {
 	best, bestVal := 0, math.Inf(-1)
 	for tau, v := range corr {
 		if v > bestVal {
@@ -62,8 +229,11 @@ func EstimateDelayRange(a, b []float64, loLag, hiLag int) int {
 
 // EstimateDelayFast estimates the delay like EstimateDelay but with a
 // coarse-to-fine search: a decimated pass locates the neighborhood and a
-// full-rate pass refines it. It trades a tiny accuracy risk (pathological
-// narrowband signals) for a ~factor^2 speedup on long recordings.
+// full-rate pass refines it. It predates the FFT correlation path (which is
+// both exact and usually faster — see EstimateDelay) and is kept for
+// callers that want the bounded-refinement behavior; it trades a tiny
+// accuracy risk (pathological narrowband signals) for a ~factor^2 speedup
+// over the direct loop on long recordings.
 func EstimateDelayFast(a, b []float64, maxLag int) int {
 	const factor = 16
 	if maxLag < 4*factor || len(a) < 4*factor || len(b) < 4*factor {
@@ -85,6 +255,12 @@ func EstimateDelayFast(a, b []float64, maxLag int) int {
 	// the exact peak even when the envelope estimate sits a pitch period
 	// or two away.
 	lo := coarse*factor - 24*factor
+	if lo < 0 {
+		// Clamp here rather than relying on EstimateDelayRange's internal
+		// clamp: a coarse peak near zero legitimately produces a negative
+		// window start, and the search contract is [0, maxLag].
+		lo = 0
+	}
 	hi := coarse*factor + 24*factor
 	if hi > maxLag {
 		hi = maxLag
@@ -142,6 +318,11 @@ func Pearson(a, b []float64) float64 {
 // cells. The spectrograms are compared over their overlapping region so
 // that small frame-count differences (from slightly different recording
 // lengths) do not fail the comparison.
+//
+// The correlation streams over the spectrogram rows directly — no flattened
+// copies — visiting cells in the same frame-major order as a Pearson over
+// flattened vectors, so the result is bit-identical to the historical
+// implementation while allocating nothing.
 func Correlate2D(a, b *Spectrogram) float64 {
 	if a == nil || b == nil {
 		return 0
@@ -157,13 +338,34 @@ func Correlate2D(a, b *Spectrogram) float64 {
 	if frames == 0 || bins == 0 {
 		return 0
 	}
-	va := make([]float64, 0, frames*bins)
-	vb := make([]float64, 0, frames*bins)
+	n := float64(frames * bins)
+	var sumA, sumB float64
 	for t := 0; t < frames; t++ {
-		va = append(va, a.Power[t][:bins]...)
-		vb = append(vb, b.Power[t][:bins]...)
+		for _, v := range a.Power[t][:bins] {
+			sumA += v
+		}
 	}
-	return Pearson(va, vb)
+	for t := 0; t < frames; t++ {
+		for _, v := range b.Power[t][:bins] {
+			sumB += v
+		}
+	}
+	meanA, meanB := sumA/n, sumB/n
+	var num, varA, varB float64
+	for t := 0; t < frames; t++ {
+		ra, rb := a.Power[t][:bins], b.Power[t][:bins]
+		for k := range ra {
+			da, db := ra[k]-meanA, rb[k]-meanB
+			num += da * db
+			varA += da * da
+			varB += db * db
+		}
+	}
+	den := math.Sqrt(varA * varB)
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // Mean returns the arithmetic mean of x (0 for an empty slice).

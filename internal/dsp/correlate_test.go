@@ -239,6 +239,149 @@ func TestEstimateDelayFastMatchesExact(t *testing.T) {
 	}
 }
 
+// TestCrossCorrelateFFTMatchesDirect pins the frequency-domain correlation
+// against the reference loop: values within 1e-9 of the correlation scale
+// and identical argmax, over a seeded corpus of lengths (including
+// non-power-of-two) and lag bounds straddling the dispatch crossover.
+func TestCrossCorrelateFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct{ na, nb, maxLag int }{
+		{16, 16, 4},
+		{100, 137, 50},
+		{1000, 1300, 400},
+		{4096, 4096, 2000},
+		{5000, 3000, 2999}, // b shorter than a
+		{300, 8000, 6000},  // a much shorter than b
+	}
+	for _, tc := range cases {
+		a := make([]float64, tc.na)
+		b := make([]float64, tc.nb)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := crossCorrelateDirect(a, b, tc.maxLag)
+		got := CrossCorrelateFFT(a, b, tc.maxLag)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: %d lags, want %d", tc, len(got), len(want))
+		}
+		scale := 0.0
+		for _, v := range want {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		for tau := range want {
+			if math.Abs(got[tau]-want[tau]) > 1e-9*scale {
+				t.Fatalf("%+v lag %d: fft %v, direct %v", tc, tau, got[tau], want[tau])
+			}
+		}
+		if fa, da := argmaxLag(got), argmaxLag(want); fa != da {
+			t.Fatalf("%+v: fft argmax %d, direct argmax %d", tc, fa, da)
+		}
+	}
+}
+
+// TestEstimateDelayFFTExactEquality demands exactly equal delay estimates
+// from the FFT path and the direct loop on a seeded corpus of shifted
+// noise recordings — the Eq. (5) sync must not move by even one sample
+// when the engine changes.
+func TestEstimateDelayFFTExactEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		n := 500 + rng.Intn(4000)
+		shift := rng.Intn(800)
+		maxLag := 800 + rng.Intn(400)
+		sig := make([]float64, n)
+		for i := range sig {
+			sig[i] = rng.NormFloat64()
+		}
+		b := make([]float64, shift+n)
+		for i := 0; i < shift; i++ {
+			b[i] = 0.01 * rng.NormFloat64()
+		}
+		copy(b[shift:], sig)
+		direct := argmaxLag(crossCorrelateDirect(sig, b, maxLag))
+		fft := EstimateDelayFFT(sig, b, maxLag)
+		if fft != direct {
+			t.Fatalf("trial %d (n=%d shift=%d maxLag=%d): fft %d, direct %d",
+				trial, n, shift, maxLag, fft, direct)
+		}
+		if disp := EstimateDelay(sig, b, maxLag); disp != direct {
+			t.Fatalf("trial %d: dispatched %d, direct %d", trial, disp, direct)
+		}
+	}
+}
+
+// TestEstimateDelayFFTSteadyStateAllocationFree pins the pooled transform
+// buffer: after a warm-up call has populated the plan cache and the
+// sync.Pool, the delay search must not allocate. (The pool hands back a
+// dirty buffer, so this also exercises the re-zeroing path against a
+// fresh computation of the same inputs.)
+func TestEstimateDelayFFTSteadyStateAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := make([]float64, 4000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 4300)
+	copy(b[300:], a)
+	want := EstimateDelayFFT(a, b, 800) // warm plan cache + pool
+	if want != 300 {
+		t.Fatalf("delay = %d, want 300", want)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if got := EstimateDelayFFT(a, b, 800); got != want {
+			t.Errorf("pooled rerun delay = %d, want %d", got, want)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EstimateDelayFFT allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestCrossCorrelateFFTDegenerateInputs(t *testing.T) {
+	if got := CrossCorrelateFFT(nil, []float64{1, 2}, 3); len(got) != 4 {
+		t.Errorf("empty a: %d lags, want 4", len(got))
+	}
+	if got := CrossCorrelateFFT([]float64{1, 2}, nil, -1); len(got) != 1 {
+		t.Errorf("negative maxLag: %d lags, want 1", len(got))
+	}
+	got := CrossCorrelateFFT([]float64{1}, []float64{2}, 0)
+	if math.Abs(got[0]-2) > 1e-12 {
+		t.Errorf("single-sample correlation = %v, want 2", got[0])
+	}
+}
+
+// TestEstimateDelayFastNearZeroCoarsePeak is the regression test for the
+// refinement-window clamp: a true delay close to zero makes the coarse
+// pass land at (or near) lag 0, so the refinement window start
+// coarse*factor - 24*factor is negative and must be clamped to 0 inside
+// EstimateDelayFast itself rather than silently relying on the callee.
+func TestEstimateDelayFastNearZeroCoarsePeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	signal := make([]float64, 8000)
+	for i := range signal {
+		signal[i] = rng.NormFloat64()
+	}
+	for _, shift := range []int{0, 1, 3, 15} { // all give coarse*16-384 < 0
+		b := make([]float64, shift+len(signal))
+		for i := 0; i < shift; i++ {
+			b[i] = 0.01 * rng.NormFloat64()
+		}
+		copy(b[shift:], signal)
+		got := EstimateDelayFast(signal, b, 3000)
+		if got != shift {
+			t.Errorf("shift %d: EstimateDelayFast = %d", shift, got)
+		}
+	}
+}
+
 func TestEstimateDelayRange(t *testing.T) {
 	a := []float64{1, 2, 3, 4}
 	// Range clamping must not panic and must respect bounds.

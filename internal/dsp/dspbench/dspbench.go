@@ -1,0 +1,298 @@
+// Package dspbench preserves the pre-plan reference implementations of the
+// hot dsp primitives (per-call radix-2 FFT, per-frame-allocating STFT, the
+// O(n*maxLag) delay search) and defines the benchmark kernels that compare
+// them against the planned engine. The kernels are shared by the
+// `go test -bench` wrappers in internal/dsp and by cmd/benchdsp, which
+// emits the checked-in BENCH_dsp.json baseline, so the two can never
+// measure different workloads.
+package dspbench
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/dsp"
+)
+
+// legacyRadix2 is the historical in-place iterative radix-2 FFT that
+// recomputed its bit-reversal permutation and twiddle recurrence on every
+// call. It is the bit-exact ancestor of the planned transform.
+func legacyRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// FFTLegacy computes the DFT of a power-of-two-length input with the
+// historical per-call transform (fresh output slice, twiddles recomputed).
+func FFTLegacy(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	legacyRadix2(out, false)
+	return out
+}
+
+// IFFTLegacy is the historical inverse transform including 1/N scaling.
+func IFFTLegacy(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	legacyRadix2(out, true)
+	inv := 1 / float64(len(x))
+	for i := range out {
+		out[i] = complex(real(out[i])*inv, imag(out[i])*inv)
+	}
+	return out
+}
+
+// PowerSpectrumLegacy computes the single-sided power spectrum of a
+// power-of-two-length real signal the historical way: a full-length complex
+// transform with per-call buffers.
+func PowerSpectrumLegacy(x []float64) []float64 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	legacyRadix2(cx, false)
+	half := len(x)/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		re, im := real(cx[i]), imag(cx[i])
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// STFTLegacy computes the power spectrogram with the historical
+// implementation: a fresh window, a full complex FFT per frame, and a
+// per-frame allocated spectrum copy and output row.
+func STFTLegacy(x []float64, cfg dsp.STFTConfig) (*dsp.Spectrogram, error) {
+	if err := dsp.ValidateLength(cfg.FFTSize); err != nil {
+		return nil, fmt.Errorf("stft: %w", err)
+	}
+	hop := cfg.HopSize
+	if hop <= 0 {
+		hop = cfg.FFTSize / 2
+	}
+	kind := cfg.Window
+	if kind == 0 {
+		kind = dsp.WindowHann
+	}
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("stft: sample rate %v must be positive", cfg.SampleRate)
+	}
+	if len(x) == 0 {
+		return &dsp.Spectrogram{FFTSize: cfg.FFTSize, HopSize: hop, SampleRate: cfg.SampleRate}, nil
+	}
+	win := dsp.Window(kind, cfg.FFTSize)
+	numFrames := 1
+	if len(x) > cfg.FFTSize {
+		numFrames = 1 + (len(x)-cfg.FFTSize+hop-1)/hop
+	}
+	half := cfg.FFTSize/2 + 1
+	power := make([][]float64, numFrames)
+	frame := make([]complex128, cfg.FFTSize)
+	for t := 0; t < numFrames; t++ {
+		start := t * hop
+		for i := 0; i < cfg.FFTSize; i++ {
+			v := 0.0
+			if start+i < len(x) {
+				v = x[start+i] * win[i]
+			}
+			frame[i] = complex(v, 0)
+		}
+		spec := make([]complex128, cfg.FFTSize)
+		copy(spec, frame)
+		legacyRadix2(spec, false)
+		row := make([]float64, half)
+		for f := 0; f < half; f++ {
+			re, im := real(spec[f]), imag(spec[f])
+			row[f] = re*re + im*im
+		}
+		power[t] = row
+	}
+	return &dsp.Spectrogram{
+		Power:      power,
+		FFTSize:    cfg.FFTSize,
+		HopSize:    hop,
+		SampleRate: cfg.SampleRate,
+	}, nil
+}
+
+// EstimateDelayLegacy is the historical delay search: the direct
+// O(n*maxLag) correlation loop followed by an argmax with ties resolving to
+// the smallest lag.
+func EstimateDelayLegacy(a, b []float64, maxLag int) int {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	best, bestVal := 0, math.Inf(-1)
+	for tau := 0; tau <= maxLag; tau++ {
+		sum := 0.0
+		for n := 0; n+tau < len(b) && n < len(a); n++ {
+			sum += a[n] * b[n+tau]
+		}
+		if sum > bestVal {
+			best, bestVal = tau, sum
+		}
+	}
+	return best
+}
+
+// Case is one benchmark kernel: Group matches a Benchmark<Group> wrapper in
+// internal/dsp and Name is the sub-benchmark label.
+type Case struct {
+	Group string
+	Name  string
+	Fn    func(b *testing.B)
+}
+
+// Signal returns the deterministic benchmark input used by every kernel: a
+// sine buried in seeded Gaussian noise.
+func Signal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/37) + 0.3*rng.NormFloat64()
+	}
+	return x
+}
+
+func complexSignal(n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	return x
+}
+
+const (
+	delaySignalLen = 16000
+	delayShift     = 1600
+	delayMaxLag    = 8000
+)
+
+func delayPair() (a, b []float64) {
+	a = Signal(delaySignalLen, 3)
+	b = make([]float64, delayShift+len(a))
+	copy(b[delayShift:], a)
+	return a, b
+}
+
+// Cases returns every benchmark kernel, current engine and legacy reference
+// side by side on identical workloads.
+func Cases() []Case {
+	return []Case{
+		{"FFTPlan", "1024", func(b *testing.B) {
+			p, err := dsp.PlanFFT(1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := complexSignal(1024)
+			dst := make([]complex128, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Forward(dst, src)
+			}
+		}},
+		{"FFTPlan", "legacy-1024", func(b *testing.B) {
+			src := complexSignal(1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FFTLegacy(src)
+			}
+		}},
+		{"STFT", "64x16-4800", benchSTFT(64, 16, 200, 4800, false)},
+		{"STFT", "512x160-16000", benchSTFT(512, 160, 16000, 16000, false)},
+		{"STFTLegacy", "64x16-4800", benchSTFT(64, 16, 200, 4800, true)},
+		{"STFTLegacy", "512x160-16000", benchSTFT(512, 160, 16000, 16000, true)},
+		{"EstimateDelayFFT", "16000x8000", func(b *testing.B) {
+			a, bb := delayPair()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := dsp.EstimateDelayFFT(a, bb, delayMaxLag); got != delayShift {
+					b.Fatalf("delay %d", got)
+				}
+			}
+		}},
+		{"EstimateDelayLegacy", "16000x8000", func(b *testing.B) {
+			a, bb := delayPair()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := EstimateDelayLegacy(a, bb, delayMaxLag); got != delayShift {
+					b.Fatalf("delay %d", got)
+				}
+			}
+		}},
+		{"PowerSpectrum", "512", func(b *testing.B) {
+			x := Signal(512, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dsp.PowerSpectrum(x)
+			}
+		}},
+		{"PowerSpectrum", "legacy-512", func(b *testing.B) {
+			x := Signal(512, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				PowerSpectrumLegacy(x)
+			}
+		}},
+	}
+}
+
+func benchSTFT(fftSize, hop int, rate float64, n int, legacy bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		x := Signal(n, int64(fftSize))
+		cfg := dsp.STFTConfig{FFTSize: fftSize, HopSize: hop, SampleRate: rate}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if legacy {
+				_, err = STFTLegacy(x, cfg)
+			} else {
+				_, err = dsp.STFT(x, cfg)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

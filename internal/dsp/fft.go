@@ -7,32 +7,34 @@
 // Everything is implemented from scratch on float64 slices using only the
 // standard library, so the package has no external dependencies and is
 // deterministic across platforms.
+//
+// All transforms run on the planned FFT engine (see plan.go): bit-reversal
+// permutations, twiddle tables, and Bluestein chirp filters are precomputed
+// once per length and cached process-wide, so repeated transforms of the
+// same size — the normal case in every pipeline stage — do no trigonometric
+// work and no table allocation.
 package dsp
 
 import (
 	"fmt"
 	"math"
-	"math/bits"
-	"math/cmplx"
 )
 
 // FFT computes the discrete Fourier transform of x.
 //
-// The input may have any length: power-of-two lengths use an in-place
+// The input may have any length: power-of-two lengths use a planned
 // iterative radix-2 Cooley-Tukey transform, and all other lengths fall back
-// to Bluestein's chirp-z algorithm. The input slice is not modified.
+// to Bluestein's chirp-z algorithm (also planned). The input slice is not
+// modified.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	out := make([]complex128, n)
-	copy(out, x)
 	if n&(n-1) == 0 {
-		fftRadix2(out, false)
-		return out
+		return mustPlanFFT(n).Forward(nil, x)
 	}
-	return bluestein(out, false)
+	return planBluestein(n).transform(x, false)
 }
 
 // IFFT computes the inverse discrete Fourier transform of x, including the
@@ -42,13 +44,10 @@ func IFFT(x []complex128) []complex128 {
 	if n == 0 {
 		return nil
 	}
-	out := make([]complex128, n)
-	copy(out, x)
 	if n&(n-1) == 0 {
-		fftRadix2(out, true)
-	} else {
-		out = bluestein(out, true)
+		return mustPlanFFT(n).Inverse(nil, x)
 	}
+	out := planBluestein(n).transform(x, true)
 	inv := 1 / float64(n)
 	for i := range out {
 		out[i] = complex(real(out[i])*inv, imag(out[i])*inv)
@@ -57,20 +56,49 @@ func IFFT(x []complex128) []complex128 {
 }
 
 // FFTReal transforms a real-valued signal and returns the full complex
-// spectrum of the same length.
+// spectrum of the same length. Power-of-two lengths run through the
+// half-size packed real transform and are unfolded by conjugate symmetry.
 func FFTReal(x []float64) []complex128 {
-	cx := make([]complex128, len(x))
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		p := mustPlanRealFFT(n)
+		half := p.Transform(nil, x, nil)
+		out := make([]complex128, n)
+		copy(out, half)
+		for k := 1; k < n/2; k++ {
+			out[n-k] = complex(real(half[k]), -imag(half[k]))
+		}
+		return out
+	}
+	cx := make([]complex128, n)
 	for i, v := range x {
 		cx[i] = complex(v, 0)
 	}
-	return FFT(cx)
+	return planBluestein(n).transform(cx, false)
 }
 
-// Magnitude returns |x| for each bin of a complex spectrum.
+// mustPlanRealFFT is PlanRealFFT for lengths already known to be powers of
+// two.
+func mustPlanRealFFT(n int) *RealFFTPlan {
+	p, err := PlanRealFFT(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Magnitude returns |x| for each bin of a complex spectrum. The plain
+// sqrt(re^2+im^2) form is used instead of cmplx.Abs: the overflow-guarded
+// hypot is measurably slower on the hot path and spectra of unit-scale
+// audio never approach the ~1e154 squaring overflow bound.
 func Magnitude(x []complex128) []float64 {
 	out := make([]float64, len(x))
 	for i, v := range x {
-		out[i] = cmplx.Abs(v)
+		re, im := real(v), imag(v)
+		out[i] = math.Sqrt(re*re + im*im)
 	}
 	return out
 }
@@ -79,14 +107,19 @@ func Magnitude(x []complex128) []float64 {
 // signal: len(x)/2+1 bins covering 0..fs/2. Bin k corresponds to frequency
 // k*fs/len(x).
 func MagnitudeSpectrum(x []float64) []float64 {
-	if len(x) == 0 {
+	n := len(x)
+	if n == 0 {
 		return nil
 	}
+	if n&(n-1) == 0 {
+		return mustPlanRealFFT(n).MagnitudeInto(nil, x, nil)
+	}
 	spec := FFTReal(x)
-	half := len(x)/2 + 1
+	half := n/2 + 1
 	out := make([]float64, half)
 	for i := 0; i < half; i++ {
-		out[i] = cmplx.Abs(spec[i])
+		re, im := real(spec[i]), imag(spec[i])
+		out[i] = math.Sqrt(re*re + im*im)
 	}
 	return out
 }
@@ -94,11 +127,15 @@ func MagnitudeSpectrum(x []float64) []float64 {
 // PowerSpectrum computes the single-sided power spectrum |X(k)|^2 of a real
 // signal, with the same bin layout as MagnitudeSpectrum.
 func PowerSpectrum(x []float64) []float64 {
-	if len(x) == 0 {
+	n := len(x)
+	if n == 0 {
 		return nil
 	}
+	if n&(n-1) == 0 {
+		return mustPlanRealFFT(n).PowerInto(nil, x, nil)
+	}
 	spec := FFTReal(x)
-	half := len(x)/2 + 1
+	half := n/2 + 1
 	out := make([]float64, half)
 	for i := 0; i < half; i++ {
 		re, im := real(spec[i]), imag(spec[i])
@@ -131,86 +168,6 @@ func FrequencyBin(f float64, n int, fs float64) int {
 		k = n / 2
 	}
 	return k
-}
-
-// fftRadix2 performs an in-place iterative radix-2 FFT. len(x) must be a
-// power of two. If inverse is true the conjugate transform is computed
-// (without the 1/N scaling).
-func fftRadix2(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Rect(1, step)
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT via the chirp-z transform,
-// using three power-of-two FFTs of length >= 2n-1.
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to avoid
-	// precision loss for large k.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		angle := sign * math.Pi * float64(kk) / float64(n)
-		chirp[k] = cmplx.Rect(1, angle)
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	invM := 1 / float64(m)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * chirp[k] * complex(invM, 0)
-	}
-	return out
 }
 
 // NextPow2 returns the smallest power of two >= n (and 1 for n <= 0).

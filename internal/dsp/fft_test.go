@@ -182,6 +182,33 @@ func TestFFTEmpty(t *testing.T) {
 	}
 }
 
+// TestMagnitudeLargeBins covers the cmplx.Abs -> sqrt(re^2+im^2) swap:
+// the plain form must stay exact for bins far beyond any audio scale
+// (squaring overflows only past ~1.3e154, which spectra of unit-scale
+// signals never approach).
+func TestMagnitudeLargeBins(t *testing.T) {
+	x := []complex128{
+		complex(3e150, 4e150),
+		complex(-3e150, 4e150),
+		complex(0, -7e152),
+		complex(1e-150, 0), // squaring still in range; ~1e-154 is the floor
+		0,
+	}
+	want := []float64{5e150, 5e150, 7e152, 1e-150, 0}
+	got := Magnitude(x)
+	for i := range want {
+		if want[i] == 0 {
+			if got[i] != 0 {
+				t.Errorf("bin %d: |0| = %v", i, got[i])
+			}
+			continue
+		}
+		if math.Abs(got[i]-want[i]) > 1e-12*want[i] {
+			t.Errorf("bin %d: magnitude %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestMagnitudeSpectrumBins(t *testing.T) {
 	x := make([]float64, 128)
 	spec := MagnitudeSpectrum(x)

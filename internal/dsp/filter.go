@@ -143,11 +143,12 @@ func FrequencyShape(x []float64, sampleRate float64, gain func(freqHz float64) f
 		return nil
 	}
 	m := NextPow2(n)
+	p := mustPlanFFT(m)
 	buf := make([]complex128, m)
 	for i, v := range x {
 		buf[i] = complex(v, 0)
 	}
-	fftRadix2(buf, false)
+	p.transform(buf, p.fwd)
 	// Apply gain symmetrically so the result stays real.
 	for k := 0; k <= m/2; k++ {
 		f := BinFrequency(k, m, sampleRate)
@@ -157,7 +158,7 @@ func FrequencyShape(x []float64, sampleRate float64, gain func(freqHz float64) f
 			buf[m-k] = complex(real(buf[m-k])*g, imag(buf[m-k])*g)
 		}
 	}
-	fftRadix2(buf, true)
+	p.transform(buf, p.inv)
 	out := make([]float64, n)
 	inv := 1 / float64(m)
 	for i := 0; i < n; i++ {

@@ -81,10 +81,20 @@ func (m *MelFilterbank) NumChannels() int { return len(m.filters) }
 // Apply computes per-channel filterbank energies from a power spectrum of
 // the expected bin count.
 func (m *MelFilterbank) Apply(power []float64) ([]float64, error) {
+	return m.ApplyInto(nil, power)
+}
+
+// ApplyInto computes per-channel filterbank energies into dst and returns
+// it. dst is allocated when nil or too small; passing a reused buffer makes
+// repeated applications (one per MFCC frame) allocation-free.
+func (m *MelFilterbank) ApplyInto(dst, power []float64) ([]float64, error) {
 	if len(power) != m.numBins {
 		return nil, fmt.Errorf("mel: power spectrum has %d bins, want %d", len(power), m.numBins)
 	}
-	out := make([]float64, len(m.filters))
+	if cap(dst) < len(m.filters) {
+		dst = make([]float64, len(m.filters))
+	}
+	dst = dst[:len(m.filters)]
 	for c, f := range m.filters {
 		sum := 0.0
 		for k, w := range f {
@@ -92,9 +102,9 @@ func (m *MelFilterbank) Apply(power []float64) ([]float64, error) {
 				sum += w * power[k]
 			}
 		}
-		out[c] = sum
+		dst[c] = sum
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DCT2 computes the type-II discrete cosine transform of x with the

@@ -1,0 +1,415 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// This file implements the planned FFT engine: transforms that precompute
+// their bit-reversal permutation and per-stage twiddle tables once per size
+// and cache the result process-wide, so the hot paths (STFT frames, MFCC
+// power spectra, FFT-based delay search) never recompute trigonometry or
+// allocate per call.
+//
+// Plans are immutable after construction and therefore safe for concurrent
+// use from any number of goroutines — the eval package's ParallelScorer
+// workers all share one plan per size. Callers own the scratch/destination
+// buffers, which keeps the mutable state out of the shared plan.
+
+// FFTPlan holds the precomputed state for radix-2 transforms of one
+// power-of-two size: the bit-reversal permutation and flattened per-stage
+// twiddle-factor tables for both transform directions.
+//
+// The twiddle tables are filled with the same repeated-multiplication
+// recurrence the previous per-call implementation used, so planned
+// transforms are bit-identical to the historical fftRadix2 output (golden
+// metrics do not shift).
+type FFTPlan struct {
+	n    int
+	perm []int32      // bit-reversal target index per position
+	fwd  []complex128 // forward twiddles, stages flattened (n-1 entries)
+	inv  []complex128 // inverse (conjugate) twiddles, same layout
+}
+
+// planCache maps transform length -> *FFTPlan. sync.Map suits the
+// write-once/read-many pattern: a handful of distinct sizes, looked up from
+// every scoring worker.
+var planCache sync.Map
+
+// PlanFFT returns the cached transform plan for length n, building and
+// caching it on first use. n must be a positive power of two.
+func PlanFFT(n int) (*FFTPlan, error) {
+	if err := ValidateLength(n); err != nil {
+		return nil, err
+	}
+	if v, ok := planCache.Load(n); ok {
+		return v.(*FFTPlan), nil
+	}
+	v, _ := planCache.LoadOrStore(n, newFFTPlan(n))
+	return v.(*FFTPlan), nil
+}
+
+// mustPlanFFT is PlanFFT for callers that construct n as a power of two
+// themselves (NextPow2 results and validated configs).
+func mustPlanFFT(n int) *FFTPlan {
+	p, err := PlanFFT(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func newFFTPlan(n int) *FFTPlan {
+	p := &FFTPlan{n: n, perm: make([]int32, n)}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		p.perm[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	if n > 1 {
+		p.fwd = make([]complex128, n-1)
+		p.inv = make([]complex128, n-1)
+		fillTwiddles(p.fwd, n, -1)
+		fillTwiddles(p.inv, n, +1)
+	}
+	return p
+}
+
+// fillTwiddles writes the stage-k twiddle factors for every butterfly stage,
+// flattened as [stage size=2 | size=4 | ... | size=n]. The values are
+// produced by the same w *= wStep recurrence the pre-plan code evaluated
+// inside the butterfly loop, which keeps planned output bit-identical to it.
+func fillTwiddles(dst []complex128, n int, sign float64) {
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		wStep := cmplx.Rect(1, sign*2*math.Pi/float64(size))
+		w := complex(1, 0)
+		for k := 0; k < half; k++ {
+			dst[off+k] = w
+			w *= wStep
+		}
+		off += half
+	}
+}
+
+// Size returns the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+// InPlace transforms x in place (forward DFT, or the unnormalized conjugate
+// transform when inverse is true — divide by Size for a true inverse).
+// len(x) must equal Size.
+func (p *FFTPlan) InPlace(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic("dsp: FFTPlan length mismatch")
+	}
+	tw := p.fwd
+	if inverse {
+		tw = p.inv
+	}
+	p.transform(x, tw)
+}
+
+// Forward computes the DFT of src into dst and returns dst. dst is grown
+// (reallocated) when nil or too short and may alias src for an in-place
+// transform; passing a reused buffer makes the call allocation-free.
+func (p *FFTPlan) Forward(dst, src []complex128) []complex128 {
+	dst = p.into(dst, src)
+	p.transform(dst, p.fwd)
+	return dst
+}
+
+// Inverse computes the inverse DFT of src into dst, including the 1/N
+// normalization, and returns dst. Buffer semantics match Forward.
+func (p *FFTPlan) Inverse(dst, src []complex128) []complex128 {
+	dst = p.into(dst, src)
+	p.transform(dst, p.inv)
+	inv := 1 / float64(p.n)
+	for i := range dst {
+		dst[i] = complex(real(dst[i])*inv, imag(dst[i])*inv)
+	}
+	return dst
+}
+
+func (p *FFTPlan) into(dst, src []complex128) []complex128 {
+	if len(src) != p.n {
+		panic("dsp: FFTPlan length mismatch")
+	}
+	if cap(dst) < p.n {
+		dst = make([]complex128, p.n)
+	}
+	dst = dst[:p.n]
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	return dst
+}
+
+// transform runs the permutation and butterfly stages with the precomputed
+// twiddle table tw (p.fwd or p.inv).
+func (p *FFTPlan) transform(x []complex128, tw []complex128) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	for i, pi := range p.perm {
+		if j := int(pi); j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		t := tw[off : off+half : off+half]
+		for start := 0; start < n; start += size {
+			blk := x[start : start+size : start+size]
+			for k := 0; k < half; k++ {
+				a := blk[k]
+				b := blk[k+half] * t[k]
+				blk[k] = a + b
+				blk[k+half] = a - b
+			}
+		}
+		off += half
+	}
+}
+
+// RealFFTPlan transforms real-valued signals of one power-of-two length by
+// packing the 2M input samples into an M-point complex transform and
+// unpacking the half spectrum with precomputed twiddles — half the butterfly
+// work of a full complex transform. Like FFTPlan it is immutable and safe
+// for concurrent use.
+type RealFFTPlan struct {
+	n      int          // real input length
+	half   *FFTPlan     // complex plan of size n/2 (nil when n == 1)
+	unpack []complex128 // e^{-2*pi*i*k/n} for k = 0..n/2
+}
+
+var realPlanCache sync.Map
+
+// PlanRealFFT returns the cached real-input transform plan for length n,
+// building it on first use. n must be a positive power of two.
+func PlanRealFFT(n int) (*RealFFTPlan, error) {
+	if err := ValidateLength(n); err != nil {
+		return nil, err
+	}
+	if v, ok := realPlanCache.Load(n); ok {
+		return v.(*RealFFTPlan), nil
+	}
+	p := &RealFFTPlan{n: n}
+	if n > 1 {
+		p.half = mustPlanFFT(n / 2)
+		p.unpack = make([]complex128, n/2+1)
+		for k := range p.unpack {
+			p.unpack[k] = cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+		}
+	}
+	v, _ := realPlanCache.LoadOrStore(n, p)
+	return v.(*RealFFTPlan), nil
+}
+
+// Size returns the real input length the plan was built for.
+func (p *RealFFTPlan) Size() int { return p.n }
+
+// NumBins returns the number of single-sided spectrum bins, Size/2+1.
+func (p *RealFFTPlan) NumBins() int { return p.n/2 + 1 }
+
+// Scratch returns a correctly sized scratch buffer for Transform. Reuse it
+// across calls to stay allocation-free; each concurrent caller needs its
+// own.
+func (p *RealFFTPlan) Scratch() []complex128 { return make([]complex128, p.n/2) }
+
+// Transform computes the single-sided spectrum (bins 0..Size/2) of the real
+// signal x into dst and returns dst. len(x) must equal Size. dst (NumBins
+// entries) and scratch (Size/2 entries, see Scratch) are allocated when nil
+// or too small; pass reused buffers to make repeated calls allocation-free.
+// dst and scratch must not overlap.
+func (p *RealFFTPlan) Transform(dst []complex128, x []float64, scratch []complex128) []complex128 {
+	if len(x) != p.n {
+		panic("dsp: RealFFTPlan length mismatch")
+	}
+	if cap(dst) < p.NumBins() {
+		dst = make([]complex128, p.NumBins())
+	}
+	dst = dst[:p.NumBins()]
+	if p.n == 1 {
+		dst[0] = complex(x[0], 0)
+		return dst
+	}
+	m := p.n / 2
+	if cap(scratch) < m {
+		scratch = make([]complex128, m)
+	}
+	scratch = scratch[:m]
+	// Pack even samples into the real lane and odd samples into the
+	// imaginary lane, then run one half-length complex transform.
+	for j := 0; j < m; j++ {
+		scratch[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.transform(scratch, p.half.fwd)
+	// Unpack: with Z the half-length spectrum and E/O the even/odd-sample
+	// spectra, E[k] = (Z[k]+conj(Z[M-k]))/2 and O[k] = -i(Z[k]-conj(Z[M-k]))/2,
+	// so X[k] = E[k] + e^{-2*pi*i*k/n} O[k] for k = 0..M (Z[M] wraps to Z[0]).
+	for k := 0; k <= m; k++ {
+		zk := scratch[k%m]
+		zmk := cmplx.Conj(scratch[(m-k)%m])
+		e := (zk + zmk) * complex(0.5, 0)
+		o := (zk - zmk) * complex(0, -0.5)
+		dst[k] = e + p.unpack[k]*o
+	}
+	return dst
+}
+
+// PowerInto computes the single-sided power spectrum |X(k)|^2 of x into dst
+// and returns dst, with the buffer semantics of Transform. It needs no
+// complex destination: the spectrum is squared bin by bin as it is unpacked.
+func (p *RealFFTPlan) PowerInto(dst []float64, x []float64, scratch []complex128) []float64 {
+	return p.reduceInto(dst, x, scratch, false)
+}
+
+// MagnitudeInto computes the single-sided magnitude spectrum |X(k)| of x
+// into dst and returns dst, with the buffer semantics of Transform.
+func (p *RealFFTPlan) MagnitudeInto(dst []float64, x []float64, scratch []complex128) []float64 {
+	return p.reduceInto(dst, x, scratch, true)
+}
+
+func (p *RealFFTPlan) reduceInto(dst []float64, x []float64, scratch []complex128, sqrt bool) []float64 {
+	if len(x) != p.n {
+		panic("dsp: RealFFTPlan length mismatch")
+	}
+	if cap(dst) < p.NumBins() {
+		dst = make([]float64, p.NumBins())
+	}
+	dst = dst[:p.NumBins()]
+	if p.n == 1 {
+		if sqrt {
+			dst[0] = math.Abs(x[0])
+		} else {
+			dst[0] = x[0] * x[0]
+		}
+		return dst
+	}
+	m := p.n / 2
+	if cap(scratch) < m {
+		scratch = make([]complex128, m)
+	}
+	scratch = scratch[:m]
+	for j := 0; j < m; j++ {
+		scratch[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.transform(scratch, p.half.fwd)
+	// Scalar unpack (same algebra as Transform, spelled out on float64 so
+	// the compiler keeps everything in registers — this loop dominates the
+	// per-frame STFT cost at small sizes). DC and Nyquist come from the
+	// packed bin 0 alone.
+	a0, b0 := real(scratch[0]), imag(scratch[0])
+	s, d := a0+b0, a0-b0
+	if sqrt {
+		dst[0] = math.Abs(s)
+		dst[m] = math.Abs(d)
+	} else {
+		dst[0] = s * s
+		dst[m] = d * d
+	}
+	w := p.unpack
+	for k := 1; k < m; k++ {
+		z1, z2 := scratch[k], scratch[m-k]
+		a1, b1 := real(z1), imag(z1)
+		a2, b2 := real(z2), imag(z2)
+		er, ei := (a1+a2)*0.5, (b1-b2)*0.5
+		or, oi := (b1+b2)*0.5, (a2-a1)*0.5
+		wr, wi := real(w[k]), imag(w[k])
+		re := er + (wr*or - wi*oi)
+		im := ei + (wr*oi + wi*or)
+		pw := re*re + im*im
+		if sqrt {
+			pw = math.Sqrt(pw)
+		}
+		dst[k] = pw
+	}
+	return dst
+}
+
+// bluesteinPlan caches the chirp sequences and the pre-transformed filter
+// spectra for one arbitrary (non-power-of-two) DFT length, in both
+// directions. Only the input-dependent transform pair remains per call.
+type bluesteinPlan struct {
+	n    int
+	m    int      // padded power-of-two convolution length (>= 2n-1)
+	plan *FFTPlan // cached plan of size m
+	// Forward (sign -1) and inverse (sign +1) chirps of length n, and the
+	// length-m spectra of the matching correlation filters.
+	chirpFwd, chirpInv []complex128
+	filtFwd, filtInv   []complex128
+}
+
+var bluesteinCache sync.Map
+
+func planBluestein(n int) *bluesteinPlan {
+	if v, ok := bluesteinCache.Load(n); ok {
+		return v.(*bluesteinPlan)
+	}
+	m := NextPow2(2*n - 1)
+	bp := &bluesteinPlan{
+		n:        n,
+		m:        m,
+		plan:     mustPlanFFT(m),
+		chirpFwd: bluesteinChirp(n, -1),
+		chirpInv: bluesteinChirp(n, +1),
+	}
+	bp.filtFwd = bp.filter(bp.chirpFwd)
+	bp.filtInv = bp.filter(bp.chirpInv)
+	v, _ := bluesteinCache.LoadOrStore(n, bp)
+	return v.(*bluesteinPlan)
+}
+
+// bluesteinChirp builds w[k] = exp(sign * i*pi*k^2/n), reducing k^2 mod 2n
+// to avoid precision loss for large k (identical to the historical code).
+func bluesteinChirp(n int, sign float64) []complex128 {
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Rect(1, angle)
+	}
+	return chirp
+}
+
+// filter returns the length-m spectrum of the conjugate-chirp correlation
+// filter b (b[k] = b[m-k] = conj(chirp[k])), computed once at plan build.
+func (bp *bluesteinPlan) filter(chirp []complex128) []complex128 {
+	b := make([]complex128, bp.m)
+	for k := 0; k < bp.n; k++ {
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < bp.n; k++ {
+		b[bp.m-k] = cmplx.Conj(chirp[k])
+	}
+	bp.plan.transform(b, bp.plan.fwd)
+	return b
+}
+
+// transform computes the length-n DFT (or unnormalized conjugate transform)
+// of x via the chirp-z convolution, reusing every precomputed table.
+func (bp *bluesteinPlan) transform(x []complex128, inverse bool) []complex128 {
+	chirp, filt := bp.chirpFwd, bp.filtFwd
+	if inverse {
+		chirp, filt = bp.chirpInv, bp.filtInv
+	}
+	a := make([]complex128, bp.m)
+	for k := 0; k < bp.n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	bp.plan.transform(a, bp.plan.fwd)
+	for i := range a {
+		a[i] *= filt[i]
+	}
+	bp.plan.transform(a, bp.plan.inv)
+	invM := 1 / float64(bp.m)
+	out := make([]complex128, bp.n)
+	for k := 0; k < bp.n; k++ {
+		out[k] = a[k] * chirp[k] * complex(invM, 0)
+	}
+	return out
+}

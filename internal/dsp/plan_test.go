@@ -1,0 +1,347 @@
+package dsp_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vibguard/internal/dsp"
+	"vibguard/internal/dsp/dspbench"
+)
+
+func randomComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func randomReal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// maxMagnitude returns the largest |v| over a complex spectrum, used as the
+// scale for relative-error comparisons.
+func maxMagnitude(x []complex128) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := cmplx.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// The planned complex transform fills its twiddle tables with the same
+// recurrence the legacy per-call code evaluated inline, so the outputs must
+// be bit-identical — the property that keeps golden metrics stable across
+// the engine swap.
+func TestPlanBitIdenticalToLegacyFFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256, 1024} {
+		x := randomComplex(n, int64(n))
+		got := dsp.FFT(x)
+		want := dspbench.FFTLegacy(x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d bin %d: planned %v != legacy %v", n, i, got[i], want[i])
+			}
+		}
+		gotInv := dsp.IFFT(x)
+		wantInv := dspbench.IFFTLegacy(x)
+		for i := range wantInv {
+			if gotInv[i] != wantInv[i] {
+				t.Fatalf("n=%d inverse bin %d: planned %v != legacy %v", n, i, gotInv[i], wantInv[i])
+			}
+		}
+	}
+}
+
+// The packed real transform takes a different (half-length) route through
+// the butterflies, so it is pinned within 1e-9 relative error of the full
+// complex transform rather than bit-exactly.
+func TestRealPlanMatchesComplexTransform(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 512, 4096} {
+		x := randomReal(n, int64(n)+100)
+		p, err := dsp.PlanRealFFT(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Transform(nil, x, nil)
+		cx := make([]complex128, n)
+		for i, v := range x {
+			cx[i] = complex(v, 0)
+		}
+		want := dspbench.FFTLegacy(cx)
+		scale := maxMagnitude(want)
+		if scale == 0 {
+			scale = 1
+		}
+		if len(got) != n/2+1 {
+			t.Fatalf("n=%d: %d bins, want %d", n, len(got), n/2+1)
+		}
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*scale {
+				t.Fatalf("n=%d bin %d: packed %v, complex %v (rel err %v)",
+					n, k, got[k], want[k], cmplx.Abs(got[k]-want[k])/scale)
+			}
+		}
+	}
+}
+
+// FFTReal unfolds the half spectrum by conjugate symmetry; the full result
+// must match the legacy full-length transform within relative 1e-9.
+func TestFFTRealMatchesLegacy(t *testing.T) {
+	for _, n := range []int{2, 16, 128, 1000, 1024} { // 1000 exercises Bluestein
+		x := randomReal(n, int64(n)+200)
+		got := dsp.FFTReal(x)
+		cx := make([]complex128, n)
+		for i, v := range x {
+			cx[i] = complex(v, 0)
+		}
+		want := dsp.FFT(cx)
+		scale := maxMagnitude(want)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*scale {
+				t.Fatalf("n=%d bin %d: FFTReal %v, FFT %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestPowerAndMagnitudeSpectrumMatchLegacy(t *testing.T) {
+	for _, n := range []int{2, 64, 512, 2048} {
+		x := randomReal(n, int64(n)+300)
+		gotP := dsp.PowerSpectrum(x)
+		wantP := dspbench.PowerSpectrumLegacy(x)
+		scale := 0.0
+		for _, v := range wantP {
+			if v > scale {
+				scale = v
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		for k := range wantP {
+			if math.Abs(gotP[k]-wantP[k]) > 1e-9*scale {
+				t.Fatalf("n=%d bin %d: power %v, legacy %v", n, k, gotP[k], wantP[k])
+			}
+		}
+		gotM := dsp.MagnitudeSpectrum(x)
+		for k := range wantP {
+			want := math.Sqrt(wantP[k])
+			if math.Abs(gotM[k]-want) > 1e-9*math.Sqrt(scale) {
+				t.Fatalf("n=%d bin %d: magnitude %v, legacy %v", n, k, gotM[k], want)
+			}
+		}
+	}
+}
+
+func TestSTFTMatchesLegacy(t *testing.T) {
+	cases := []struct {
+		n    int
+		cfg  dsp.STFTConfig
+		name string
+	}{
+		{4800, dsp.STFTConfig{FFTSize: 64, HopSize: 16, SampleRate: 200}, "vibration"},
+		{16000, dsp.STFTConfig{FFTSize: 512, HopSize: 160, SampleRate: 16000}, "audio"},
+		{100, dsp.STFTConfig{FFTSize: 256, SampleRate: 200}, "zero-padded single frame"},
+		{700, dsp.STFTConfig{FFTSize: 64, HopSize: 200, SampleRate: 200}, "hop larger than window"},
+		{64, dsp.STFTConfig{FFTSize: 64, HopSize: 16, SampleRate: 200, Window: dsp.WindowBlackman}, "exact one window"},
+	}
+	for _, tc := range cases {
+		x := randomReal(tc.n, int64(tc.n))
+		got, err := dsp.STFT(x, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := dspbench.STFTLegacy(x, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.NumFrames() != want.NumFrames() || got.NumBins() != want.NumBins() {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", tc.name,
+				got.NumFrames(), got.NumBins(), want.NumFrames(), want.NumBins())
+		}
+		scale := want.MaxValue()
+		if scale == 0 {
+			scale = 1
+		}
+		for f, row := range want.Power {
+			for k, w := range row {
+				if math.Abs(got.Power[f][k]-w) > 1e-9*scale {
+					t.Fatalf("%s: frame %d bin %d: %v, want %v", tc.name, f, k, got.Power[f][k], w)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanCacheReturnsSharedInstance(t *testing.T) {
+	p1, err := dsp.PlanFFT(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := dsp.PlanFFT(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("PlanFFT(128) built two instances for one size")
+	}
+	r1, err := dsp.PlanRealFFT(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dsp.PlanRealFFT(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("PlanRealFFT(128) built two instances for one size")
+	}
+}
+
+func TestPlanRejectsInvalidLengths(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100} {
+		if _, err := dsp.PlanFFT(n); err == nil {
+			t.Errorf("PlanFFT(%d) = nil error", n)
+		}
+		if _, err := dsp.PlanRealFFT(n); err == nil {
+			t.Errorf("PlanRealFFT(%d) = nil error", n)
+		}
+	}
+}
+
+func TestPlanForwardInPlaceAliasing(t *testing.T) {
+	x := randomComplex(256, 7)
+	want := dsp.FFT(x)
+	p, err := dsp.PlanFFT(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]complex128, 256)
+	copy(buf, x)
+	got := p.Forward(buf, buf) // dst aliases src: transform in place
+	if &got[0] != &buf[0] {
+		t.Fatal("aliased Forward reallocated its destination")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: in-place %v != out-of-place %v", i, got[i], want[i])
+		}
+	}
+	p.Inverse(buf, buf)
+	for i := range x {
+		if cmplx.Abs(buf[i]-x[i]) > 1e-9 {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, buf[i], x[i])
+		}
+	}
+}
+
+// Reused destination and scratch buffers make planned transforms
+// allocation-free — the property the STFT and MFCC hot loops rely on.
+func TestPlanReusedBuffersAllocationFree(t *testing.T) {
+	p, err := dsp.PlanFFT(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randomComplex(512, 8)
+	dst := make([]complex128, 512)
+	if avg := testing.AllocsPerRun(50, func() { p.Forward(dst, src) }); avg != 0 {
+		t.Errorf("planned Forward with reused dst: %.1f allocs/op, want 0", avg)
+	}
+	rp, err := dsp.PlanRealFFT(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomReal(512, 9)
+	power := make([]float64, rp.NumBins())
+	scratch := rp.Scratch()
+	if avg := testing.AllocsPerRun(50, func() { rp.PowerInto(power, x, scratch) }); avg != 0 {
+		t.Errorf("PowerInto with reused buffers: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// STFT's per-call allocation count must stay O(1) in the frame count: one
+// contiguous backing array plus a handful of fixed buffers, never per-frame
+// garbage. 300 frames in, a small constant out.
+func TestSTFTConstantAllocations(t *testing.T) {
+	x := randomReal(4800, 10)
+	cfg := dsp.STFTConfig{FFTSize: 64, HopSize: 16, SampleRate: 200}
+	// Warm the plan and window caches so the steady state is measured.
+	if _, err := dsp.STFT(x, cfg); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := dsp.STFT(x, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 8 {
+		t.Errorf("STFT allocates %.1f times per call for 298 frames, want <= 8", avg)
+	}
+}
+
+// Plans are shared, immutable state; hammer one from many goroutines (the
+// ParallelScorer pattern) and check every result. Run under -race in CI.
+func TestPlanConcurrentUse(t *testing.T) {
+	const workers = 8
+	x := randomReal(1024, 11)
+	want := dsp.PowerSpectrum(x)
+	cfg := dsp.STFTConfig{FFTSize: 64, HopSize: 16, SampleRate: 200}
+	wantSpec, err := dsp.STFT(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				got := dsp.PowerSpectrum(x)
+				for k := range want {
+					if got[k] != want[k] {
+						errs <- errMismatch
+						return
+					}
+				}
+				spec, err := dsp.STFT(x, cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for f := range wantSpec.Power {
+					for k := range wantSpec.Power[f] {
+						if spec.Power[f][k] != wantSpec.Power[f][k] {
+							errs <- errMismatch
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errMismatchType{}
+
+type errMismatchType struct{}
+
+func (errMismatchType) Error() string { return "concurrent transform produced a different result" }

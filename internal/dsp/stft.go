@@ -5,11 +5,28 @@ import "fmt"
 // Spectrogram is a time-frequency power representation: Power[t][f] holds
 // the squared magnitude of frequency bin f in frame t. NumBins is
 // FFTSize/2+1; bin f covers frequency f*SampleRate/FFTSize.
+//
+// Spectrograms produced by this package store all frames in one contiguous
+// backing array (Power rows are consecutive slices of it), which keeps
+// construction to a single bulk allocation and makes whole-spectrogram
+// scans cache-friendly. The [][]float64 shape is preserved so external
+// construction from independent rows keeps working.
 type Spectrogram struct {
 	Power      [][]float64
 	FFTSize    int
 	HopSize    int
 	SampleRate float64
+}
+
+// newSpectrogramFrames returns a frames x bins Power matrix carved out of
+// one contiguous allocation.
+func newSpectrogramFrames(frames, bins int) [][]float64 {
+	power := make([][]float64, frames)
+	backing := make([]float64, frames*bins)
+	for t := range power {
+		power[t] = backing[t*bins : (t+1)*bins : (t+1)*bins]
+	}
+	return power
 }
 
 // NumFrames returns the number of time frames.
@@ -28,18 +45,16 @@ func (s *Spectrogram) BinFrequency(f int) float64 {
 	return BinFrequency(f, s.FFTSize, s.SampleRate)
 }
 
-// Clone returns a deep copy of the spectrogram.
+// Clone returns a deep copy of the spectrogram (contiguously backed).
 func (s *Spectrogram) Clone() *Spectrogram {
 	out := &Spectrogram{
-		Power:      make([][]float64, len(s.Power)),
+		Power:      newSpectrogramFrames(s.NumFrames(), s.NumBins()),
 		FFTSize:    s.FFTSize,
 		HopSize:    s.HopSize,
 		SampleRate: s.SampleRate,
 	}
 	for i, row := range s.Power {
-		r := make([]float64, len(row))
-		copy(r, row)
-		out.Power[i] = r
+		copy(out.Power[i], row)
 	}
 	return out
 }
@@ -54,11 +69,9 @@ func (s *Spectrogram) CropBelow(cutoff float64) *Spectrogram {
 		start++
 	}
 	out := &Spectrogram{FFTSize: s.FFTSize, HopSize: s.HopSize, SampleRate: s.SampleRate}
-	out.Power = make([][]float64, len(s.Power))
+	out.Power = newSpectrogramFrames(s.NumFrames(), s.NumBins()-start)
 	for i, row := range s.Power {
-		r := make([]float64, len(row)-start)
-		copy(r, row[start:])
-		out.Power[i] = r
+		copy(out.Power[i], row[start:])
 	}
 	return out
 }
@@ -136,6 +149,12 @@ func (c *STFTConfig) withDefaults() (STFTConfig, error) {
 // STFT computes the power spectrogram of x. Frames that would run past the
 // end of the signal are zero-padded, so even a short signal yields at least
 // one frame.
+//
+// The analysis runs on the planned real-input FFT engine: the window, the
+// transform plan, one frame buffer, and one transform scratch buffer are
+// shared across all frames, and the output rows live in a single contiguous
+// backing array, so the per-frame cost is pure butterfly work with no
+// allocation.
 func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
@@ -144,32 +163,31 @@ func STFT(x []float64, cfg STFTConfig) (*Spectrogram, error) {
 	if len(x) == 0 {
 		return &Spectrogram{FFTSize: c.FFTSize, HopSize: c.HopSize, SampleRate: c.SampleRate}, nil
 	}
-	win := Window(c.Window, c.FFTSize)
+	plan := mustPlanRealFFT(c.FFTSize)
+	win := cachedWindow(c.Window, c.FFTSize)
 	numFrames := 1
 	if len(x) > c.FFTSize {
 		numFrames = 1 + (len(x)-c.FFTSize+c.HopSize-1)/c.HopSize
 	}
-	half := c.FFTSize/2 + 1
-	power := make([][]float64, numFrames)
-	frame := make([]complex128, c.FFTSize)
+	power := newSpectrogramFrames(numFrames, plan.NumBins())
+	frame := make([]float64, c.FFTSize)
+	scratch := plan.Scratch()
 	for t := 0; t < numFrames; t++ {
 		start := t * c.HopSize
-		for i := 0; i < c.FFTSize; i++ {
-			v := 0.0
-			if start+i < len(x) {
-				v = x[start+i] * win[i]
-			}
-			frame[i] = complex(v, 0)
+		n := len(x) - start
+		if n > c.FFTSize {
+			n = c.FFTSize
 		}
-		spec := make([]complex128, c.FFTSize)
-		copy(spec, frame)
-		fftRadix2(spec, false)
-		row := make([]float64, half)
-		for f := 0; f < half; f++ {
-			re, im := real(spec[f]), imag(spec[f])
-			row[f] = re*re + im*im
+		if n < 0 {
+			n = 0
 		}
-		power[t] = row
+		for i := 0; i < n; i++ {
+			frame[i] = x[start+i] * win[i]
+		}
+		for i := n; i < c.FFTSize; i++ {
+			frame[i] = 0
+		}
+		plan.PowerInto(power[t], frame, scratch)
 	}
 	return &Spectrogram{
 		Power:      power,

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // WindowKind selects a window function for short-time analysis.
 type WindowKind int
@@ -56,6 +59,29 @@ func Window(kind WindowKind, n int) []float64 {
 		}
 	}
 	return w
+}
+
+// windowCache holds one immutable window per (kind, length) pair so hot
+// loops like STFT never rebuild them. Entries are never mutated after
+// insertion, making the cache safe for concurrent readers.
+var windowCache sync.Map
+
+type windowKey struct {
+	kind WindowKind
+	n    int
+}
+
+// cachedWindow returns the shared n-point window of the given kind. The
+// returned slice is cached and MUST NOT be modified; external callers who
+// may mutate the window should use Window, which always returns a fresh
+// copy.
+func cachedWindow(kind WindowKind, n int) []float64 {
+	key := windowKey{kind, n}
+	if v, ok := windowCache.Load(key); ok {
+		return v.([]float64)
+	}
+	v, _ := windowCache.LoadOrStore(key, Window(kind, n))
+	return v.([]float64)
 }
 
 // ApplyWindow multiplies x element-wise by window w into a new slice. If the

@@ -65,7 +65,10 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Extractor computes MFCC frame sequences.
+// Extractor computes MFCC frame sequences. The extractor itself is
+// immutable after construction (the FFT plan and filterbank are shared,
+// read-only state), so one extractor may serve concurrent goroutines; all
+// mutable scratch lives on the stack of each Extract call.
 type Extractor struct {
 	cfg      Config
 	frameLen int
@@ -73,6 +76,7 @@ type Extractor struct {
 	fftSize  int
 	window   []float64
 	bank     *dsp.MelFilterbank
+	plan     *dsp.RealFFTPlan
 }
 
 // NewExtractor builds an extractor for the given configuration.
@@ -87,6 +91,10 @@ func NewExtractor(cfg Config) (*Extractor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mfcc: %w", err)
 	}
+	plan, err := dsp.PlanRealFFT(fftSize)
+	if err != nil {
+		return nil, fmt.Errorf("mfcc: %w", err)
+	}
 	return &Extractor{
 		cfg:      cfg,
 		frameLen: frameLen,
@@ -94,6 +102,7 @@ func NewExtractor(cfg Config) (*Extractor, error) {
 		fftSize:  fftSize,
 		window:   dsp.Window(dsp.WindowHamming, frameLen),
 		bank:     bank,
+		plan:     plan,
 	}, nil
 }
 
@@ -128,7 +137,14 @@ func (e *Extractor) Extract(audio []float64) ([][]float64, error) {
 	}
 	numFrames := e.NumFrames(len(x))
 	out := make([][]float64, 0, numFrames)
+	// All per-frame scratch is hoisted out of the loop and reused: the
+	// planned transform writes into the same power buffer every frame, so
+	// the only per-frame allocation is the returned coefficient vector.
 	buf := make([]float64, e.fftSize)
+	scratch := e.plan.Scratch()
+	power := make([]float64, e.plan.NumBins())
+	energies := make([]float64, e.bank.NumChannels())
+	logE := make([]float64, e.bank.NumChannels())
 	for idx := 0; idx < numFrames; idx++ {
 		start := idx * e.shiftLen
 		for i := 0; i < e.fftSize; i++ {
@@ -138,12 +154,10 @@ func (e *Extractor) Extract(audio []float64) ([][]float64, error) {
 				buf[i] = 0
 			}
 		}
-		power := dsp.PowerSpectrum(buf)
-		energies, err := e.bank.Apply(power)
-		if err != nil {
+		e.plan.PowerInto(power, buf, scratch)
+		if _, err := e.bank.ApplyInto(energies, power); err != nil {
 			return nil, fmt.Errorf("mfcc: %w", err)
 		}
-		logE := make([]float64, len(energies))
 		for i, v := range energies {
 			logE[i] = math.Log(v + 1e-12)
 		}

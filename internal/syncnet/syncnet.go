@@ -302,7 +302,11 @@ func AlignRecordings(va, wearable []float64, maxLagSeconds, sampleRate float64) 
 	if lagf < float64(maxLag) {
 		maxLag = int(lagf)
 	}
-	tau := dsp.EstimateDelayFast(va, wearable, maxLag)
+	// EstimateDelay dispatches to the planned FFT correlation above the
+	// crossover size: exact Eq. (5) over the full lag range in O(m log m),
+	// faster than the decimated coarse-to-fine search it replaced and
+	// without that search's narrowband failure mode.
+	tau := dsp.EstimateDelay(va, wearable, maxLag)
 	aligned := make([]float64, len(wearable)-tau)
 	copy(aligned, wearable[tau:])
 	return aligned, tau, nil
