@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring bench-dsp benchgen
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp benchgen obs-smoke
 
 build:
 	$(GO) build ./...
@@ -49,3 +49,9 @@ bench-dsp:
 
 benchgen:
 	$(GO) run ./cmd/benchgen -quick
+
+# Observability smoke test: boot vibguardd with the debug listener, curl
+# /healthz and /metrics, and assert the Inspect stage spans and syncnet
+# attempt counters are populated after the scenario pass.
+obs-smoke:
+	./scripts/obs_smoke.sh

@@ -9,21 +9,37 @@
 // bounded retries with exponential backoff and per-attempt deadlines, so a
 // flaky WiFi link degrades to a typed error instead of a hang.
 //
+// With -debug-addr the daemon serves its observability surface over HTTP
+// (/metrics pipeline counters and stage-latency quantiles as JSON,
+// /healthz, /debug/vars, /debug/pprof) and stays alive after the scenario
+// pass until SIGINT/SIGTERM, so the endpoints remain scrapeable.
+//
+// Runs are reproducible: -seed pins every random choice, and the chosen
+// seed (time-derived when the flag is 0) is always logged at startup so
+// any run can be replayed.
+//
 // Usage:
 //
 //	vibguardd [-addr 127.0.0.1:0] [-spl 80] [-retries 4]
 //	          [-retry-base 25ms] [-retry-max 500ms]
+//	          [-seed 0] [-debug-addr 127.0.0.1:6060] [-log-format text]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"vibguard"
 	"vibguard/internal/acoustics"
+	"vibguard/internal/obs"
 	"vibguard/internal/syncnet"
 )
 
@@ -33,21 +49,75 @@ func main() {
 	retries := flag.Int("retries", 4, "total transport attempts per recording request")
 	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "backoff before the second attempt")
 	retryMax := flag.Duration("retry-max", 500*time.Millisecond, "cap on the exponential backoff")
+	seed := flag.Int64("seed", 0, "RNG seed; 0 derives one from the clock (the seed is always logged, so any run can be replayed with -seed)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty = off)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vibguardd:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
 	policy := syncnet.DefaultRetryPolicy()
 	policy.MaxAttempts = *retries
 	policy.BaseDelay = *retryBase
 	policy.MaxDelay = *retryMax
-	if err := run(*addr, *attackSPL, policy); err != nil {
-		fmt.Fprintln(os.Stderr, "vibguardd:", err)
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	logger.Info("starting", "seed", *seed, "spl", *attackSPL, "retries", *retries)
+
+	if err := run(logger, *addr, *debugAddr, *attackSPL, *seed, policy); err != nil {
+		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, attackSPL float64, policy syncnet.RetryPolicy) error {
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+// newLogger builds the daemon logger for -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
 
-	fmt.Println("vibguardd: training phoneme detector...")
+// serveDebug mounts the observability surface on debugAddr and returns the
+// resolved listen address.
+func serveDebug(logger *slog.Logger, debugAddr string) (string, error) {
+	ln, err := net.Listen("tcp", debugAddr)
+	if err != nil {
+		return "", fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: obs.DebugMux(obs.Default())}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("debug server", "err", err)
+		}
+	}()
+	logger.Info("debug endpoints serving",
+		"addr", ln.Addr().String(),
+		"endpoints", "/metrics /healthz /debug/vars /debug/pprof")
+	return ln.Addr().String(), nil
+}
+
+func run(logger *slog.Logger, addr, debugAddr string, attackSPL float64, seed int64, policy syncnet.RetryPolicy) error {
+	rng := rand.New(rand.NewSource(seed))
+
+	if debugAddr != "" {
+		if _, err := serveDebug(logger, debugAddr); err != nil {
+			return err
+		}
+	}
+
+	logger.Info("training phoneme detector")
 	defense, err := vibguard.NewDefense(vibguard.Options{TrainSeed: rng.Int63()})
 	if err != nil {
 		return err
@@ -65,8 +135,9 @@ func run(addr string, attackSPL float64, policy syncnet.RetryPolicy) error {
 		return err
 	}
 	room := vibguard.Rooms()[0]
-	fmt.Printf("vibguardd: command %q by %s in room %s (barrier: %s)\n",
-		cmd.Text, user.Name, room.Name, room.Barrier.Name)
+	logger.Info("scenario setup",
+		"command", cmd.Text, "speaker", user.Name,
+		"room", room.Name, "barrier", room.Barrier.Name)
 
 	transmit := func(spl, dist float64, thru bool) ([]float64, error) {
 		return room.Transmit(utt.Samples, acoustics.PathConfig{
@@ -98,11 +169,11 @@ func run(addr string, attackSPL float64, policy syncnet.RetryPolicy) error {
 
 		// The wearable agent serves its recording over TCP; the VA side
 		// fetches it through the hardened client, as in the real deployment.
-		// Per-connection agent failures go to stderr instead of vanishing.
+		// Per-connection agent failures are logged instead of vanishing.
 		agent, err := syncnet.NewWearableAgent(addr, func(uint64) ([]float64, error) {
 			return wearRec, nil
 		}, syncnet.WithConnErrorHandler(func(err error) {
-			fmt.Fprintln(os.Stderr, "vibguardd: wearable agent:", err)
+			logger.Warn("wearable agent", "err", err)
 		}))
 		if err != nil {
 			return err
@@ -127,14 +198,24 @@ func run(addr string, attackSPL float64, policy syncnet.RetryPolicy) error {
 		if verdict.Attack {
 			status = "REJECTED (thru-barrier attack)"
 		}
-		ok := "as expected"
-		if verdict.Attack != sc.expectAttack {
-			ok = "UNEXPECTED"
-		}
-		fmt.Printf("  %-28s score=%+.3f sync=%4dms spans=%d -> %s (%s)\n",
-			sc.name, verdict.Score,
-			verdict.SyncOffset*1000/int(vibguard.SampleRate),
-			len(verdict.Spans), status, ok)
+		syncMs := float64(verdict.SyncOffset) * 1000 / vibguard.SampleRate
+		logger.Info("verdict",
+			"scenario", sc.name,
+			"score", fmt.Sprintf("%+.3f", verdict.Score),
+			"sync_ms", fmt.Sprintf("%.1f", syncMs),
+			"spans", len(verdict.Spans),
+			"status", status,
+			"as_expected", verdict.Attack == sc.expectAttack)
+	}
+
+	if debugAddr != "" {
+		// Keep the observability surface alive until the operator stops us,
+		// so /metrics can be scraped after the scenario pass.
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		logger.Info("scenarios complete; debug endpoints still serving (SIGINT/SIGTERM to exit)")
+		<-stop
+		logger.Info("shutting down")
 	}
 	return nil
 }

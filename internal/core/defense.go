@@ -121,31 +121,47 @@ type Verdict struct {
 // skip this and trust their caller (the evaluation engine feeds
 // generator-made samples).
 func (d *Defense) Inspect(vaRec, wearRec []float64, rng *rand.Rand) (*Verdict, error) {
+	metInspectTotal.Inc()
 	vaRec, wearRec, err := d.validatePair(vaRec, wearRec)
 	if err != nil {
+		metInspectErrors.Inc()
 		return nil, err
 	}
+	sp := stageAlign.Start()
 	aligned, tau, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
+	sp.End()
 	if err != nil {
+		metInspectErrors.Inc()
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	var spans []segment.Span
 	if d.cfg.Method == detector.MethodFull {
 		if d.cfg.Segmenter == nil {
+			metInspectErrors.Inc()
 			return nil, fmt.Errorf("core: full method needs a segmenter")
 		}
+		sp = stageSegment.Start()
 		spans, err = d.cfg.Segmenter.EffectiveSpans(vaRec)
+		sp.End()
 		if err != nil {
+			metInspectErrors.Inc()
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	score, err := d.det.ScoreWithSpans(vaRec, aligned, spans, rng)
 	if err != nil {
+		metInspectErrors.Inc()
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	attack := d.det.Detect(score)
+	if attack {
+		metVerdictAttack.Inc()
+	} else {
+		metVerdictAccept.Inc()
 	}
 	return &Verdict{
 		Score:      score,
-		Attack:     d.det.Detect(score),
+		Attack:     attack,
 		SyncOffset: tau,
 		Spans:      spans,
 	}, nil
@@ -154,7 +170,9 @@ func (d *Defense) Inspect(vaRec, wearRec []float64, rng *rand.Rand) (*Verdict, e
 // Score runs the pipeline and returns only the similarity score; it is the
 // hot path used by the evaluation sweeps.
 func (d *Defense) Score(vaRec, wearRec []float64, rng *rand.Rand) (float64, error) {
+	sp := stageAlign.Start()
 	aligned, _, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
+	sp.End()
 	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)
 	}
@@ -171,7 +189,9 @@ func (d *Defense) Score(vaRec, wearRec []float64, rng *rand.Rand) (float64, erro
 // state, so concurrent callers need nothing but their own rng. The spans
 // are ignored by the baseline methods.
 func (d *Defense) ScoreWithSpans(vaRec, wearRec []float64, spans []segment.Span, rng *rand.Rand) (float64, error) {
+	sp := stageAlign.Start()
 	aligned, _, err := syncnet.AlignRecordings(vaRec, wearRec, d.cfg.MaxSyncLagSeconds, d.cfg.SampleRate)
+	sp.End()
 	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)
 	}

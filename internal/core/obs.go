@@ -1,0 +1,19 @@
+package core
+
+import "vibguard/internal/obs"
+
+// Pipeline instrumentation, bound to the process-wide registry at init.
+// The "pipeline.stage.*" timers are shared naming with the detector and
+// sensing packages, which time the stages that live below this layer
+// (phoneme-select, replay, stft, correlate); together the seven stages
+// cover one full Inspect. Recording is lock-free and allocation-free, so
+// it stays enabled in production and in the parallel scoring workers.
+var (
+	metInspectTotal  = obs.Default().Counter("core.inspect.total")
+	metInspectErrors = obs.Default().Counter("core.inspect.errors")
+	metVerdictAttack = obs.Default().Counter("core.inspect.verdict.attack")
+	metVerdictAccept = obs.Default().Counter("core.inspect.verdict.accept")
+
+	stageAlign   = obs.Default().StageTimer("pipeline.stage.align")
+	stageSegment = obs.Default().StageTimer("pipeline.stage.segment")
+)

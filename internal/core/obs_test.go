@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+	"vibguard/internal/obs"
+)
+
+// TestInspectStageSpansReachMetricsEndpoint runs one full-method Inspect
+// and asserts that every pipeline stage span — align and segment recorded
+// here, phoneme-select/replay/stft/correlate recorded by the detector and
+// sensing layers below — and the verdict counters show up in the /metrics
+// JSON a debug listener would serve. This is the end-to-end wiring check:
+// instrumented package -> process registry -> HTTP export.
+func TestInspectStageSpansReachMetricsEndpoint(t *testing.T) {
+	spans, legitVA, legitWear, _, _ := buildScenario(t, 99)
+	d, err := NewDefense(DefaultConfig(device.NewFossilGen5(), &detector.StaticSegmenter{Spans: spans}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.Default()
+	before := reg.Snapshot()
+	rng := rand.New(rand.NewSource(7))
+	if _, err := d.Inspect(legitVA, legitWear, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics output does not parse: %v", err)
+	}
+
+	// Stage histograms must have gained observations relative to the
+	// pre-Inspect snapshot (other tests share the process registry, so
+	// absolute counts are not meaningful — deltas are).
+	stages := []string{
+		"pipeline.stage.align",
+		"pipeline.stage.segment",
+		"pipeline.stage.phoneme-select",
+		"pipeline.stage.replay",
+		"pipeline.stage.stft",
+		"pipeline.stage.correlate",
+	}
+	for _, name := range stages {
+		if got, was := snap.Histograms[name].Count, before.Histograms[name].Count; got <= was {
+			t.Errorf("stage %s: count %d, want > %d after Inspect", name, got, was)
+		}
+	}
+	if got, was := snap.Counters["core.inspect.total"], before.Counters["core.inspect.total"]; got != was+1 {
+		t.Errorf("inspect total = %d, want %d", got, was+1)
+	}
+	verdicts := snap.Counters["core.inspect.verdict.attack"] + snap.Counters["core.inspect.verdict.accept"]
+	verdictsBefore := before.Counters["core.inspect.verdict.attack"] + before.Counters["core.inspect.verdict.accept"]
+	if verdicts != verdictsBefore+1 {
+		t.Errorf("verdict counters moved by %d, want 1", verdicts-verdictsBefore)
+	}
+	// Stage latency snapshots must be internally consistent.
+	align := snap.Histograms["pipeline.stage.align"]
+	if align.Sum <= 0 || align.P50 < align.Min || align.P99 > align.Max {
+		t.Errorf("align stage snapshot inconsistent: %+v", align)
+	}
+}

@@ -18,8 +18,18 @@ import (
 
 	"vibguard/internal/device"
 	"vibguard/internal/dsp"
+	"vibguard/internal/obs"
 	"vibguard/internal/segment"
 	"vibguard/internal/sensing"
+)
+
+// Stage timers of the "pipeline.stage.*" family (see internal/core/obs.go):
+// phoneme-select is the span extraction of Section VI-A, correlate the 2D
+// correlation of Eq. (6). Both record into the process-wide registry with
+// lock-free, allocation-free observations.
+var (
+	stagePhonemeSelect = obs.Default().StageTimer("pipeline.stage.phoneme-select")
+	stageCorrelate     = obs.Default().StageTimer("pipeline.stage.correlate")
 )
 
 // DefaultThreshold is the decision threshold on the correlation score,
@@ -287,15 +297,20 @@ func (d *Detector) vibrationScore(vaRec, wearRec []float64, rng *rand.Rand) (flo
 	if err != nil {
 		return 0, err
 	}
-	return dsp.Correlate2D(featA, featB), nil
+	sp := stageCorrelate.Start()
+	score := dsp.Correlate2D(featA, featB)
+	sp.End()
+	return score, nil
 }
 
 // fullScore is the proposed system: apply the effective-phoneme spans of
 // the VA recording to both recordings (Section VI-A), then correlate the
 // vibration-domain features of the extracted segments.
 func (d *Detector) fullScore(vaRec, wearRec []float64, spans []segment.Span, rng *rand.Rand) (float64, error) {
+	sp := stagePhonemeSelect.Start()
 	vaSeg := segment.ExtractSpans(vaRec, spans)
 	wearSeg := segment.ExtractSpans(wearRec, spans)
+	sp.End()
 	if len(vaSeg) == 0 || len(wearSeg) == 0 {
 		// No effective phonemes found: the command has no usable content,
 		// which itself is suspicious; return the minimum score.
@@ -309,5 +324,8 @@ func (d *Detector) fullScore(vaRec, wearRec []float64, spans []segment.Span, rng
 	if err != nil {
 		return 0, err
 	}
-	return dsp.Correlate2D(featA, featB), nil
+	sp = stageCorrelate.Start()
+	score := dsp.Correlate2D(featA, featB)
+	sp.End()
+	return score, nil
 }

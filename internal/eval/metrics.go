@@ -39,7 +39,12 @@ func ComputeROC(legitScores, attackScores []float64) (*ROC, error) {
 	}
 	roc := &ROC{Points: make([]ROCPoint, 0, 201)}
 	for i := 0; i <= 200; i++ {
-		th := -1 + float64(i)*0.01
+		// float64(i-100)/100 lands every grid point on the nearest float64
+		// to an exact hundredth; the additive form -1 + i*0.01 accumulates
+		// rounding error, drifting thresholds off-grid so scores exactly at
+		// a hundredth (e.g. a perfect Pearson score of 1.0) fall on the
+		// wrong side of the strict < comparison.
+		th := float64(i-100) / 100
 		roc.Points = append(roc.Points, ROCPoint{
 			Threshold: th,
 			TDR:       fractionBelow(attackScores, th),

@@ -123,6 +123,76 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestROCThresholdGridIsExact pins the threshold grid to exact hundredths:
+// the old additive form (-1 + i*0.01) accumulated float error, so grid
+// points drifted off the representable hundredths and scores lying exactly
+// on a grid value could land on the wrong side of the strict < comparison.
+func TestROCThresholdGridIsExact(t *testing.T) {
+	roc, err := ComputeROC([]float64{0.5}, []float64{-0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(roc.Points); n != 201 {
+		t.Fatalf("got %d grid points, want 201", n)
+	}
+	for i, p := range roc.Points {
+		want := float64(i-100) / 100
+		if p.Threshold != want {
+			t.Errorf("point %d: threshold %v, want exactly %v", i, p.Threshold, want)
+		}
+	}
+	if roc.Points[0].Threshold != -1 || roc.Points[100].Threshold != 0 || roc.Points[200].Threshold != 1 {
+		t.Error("grid endpoints drifted")
+	}
+}
+
+// TestROCScoresAtGridThresholds covers scores lying exactly on grid
+// thresholds, including a perfect Pearson score of 1.0: with strict <
+// tie handling, a score equal to the threshold must NOT count as below
+// it at that grid point, and must count at the next one up.
+func TestROCScoresAtGridThresholds(t *testing.T) {
+	legit := []float64{1.0, 0.5} // perfect Pearson score and a mid-grid tie
+	attacks := []float64{-0.5, 0.25}
+	roc, err := ComputeROC(legit, attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(th float64) ROCPoint {
+		for _, p := range roc.Points {
+			if p.Threshold == th {
+				return p
+			}
+		}
+		t.Fatalf("threshold %v not on grid", th)
+		return ROCPoint{}
+	}
+	// A perfect score of 1.0 is never strictly below the top threshold.
+	if p := at(1.0); p.FDR != 0.5 { // only the 0.5 legit score is below 1.0
+		t.Errorf("FDR at th=1.0 = %v, want 0.5 (score 1.0 is not < 1.0)", p.FDR)
+	}
+	// Exactly at 0.5 the tied legit score is not yet below...
+	if p := at(0.5); p.FDR != 0 {
+		t.Errorf("FDR at th=0.5 = %v, want 0", p.FDR)
+	}
+	// ...and one grid step up it is.
+	if p := at(0.51); p.FDR != 0.5 {
+		t.Errorf("FDR at th=0.51 = %v, want 0.5", p.FDR)
+	}
+	// Same on the attack side: -0.5 flips between th=-0.5 and th=-0.49.
+	if p := at(-0.5); p.TDR != 0 {
+		t.Errorf("TDR at th=-0.5 = %v, want 0", p.TDR)
+	}
+	if p := at(-0.49); p.TDR != 0.5 {
+		t.Errorf("TDR at th=-0.49 = %v, want 0.5", p.TDR)
+	}
+	if p := at(0.25); p.TDR != 0.5 {
+		t.Errorf("TDR at th=0.25 = %v, want 0.5 (0.25 not < 0.25)", p.TDR)
+	}
+	if p := at(0.26); p.TDR != 1 {
+		t.Errorf("TDR at th=0.26 = %v, want 1", p.TDR)
+	}
+}
+
 func TestFractionBelow(t *testing.T) {
 	xs := []float64{0.1, 0.5, 0.9}
 	if f := fractionBelow(xs, 0.5); f != 1.0/3 {

@@ -6,10 +6,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vibguard/internal/detector"
 	"vibguard/internal/device"
+	"vibguard/internal/obs"
 	"vibguard/internal/sensing"
+)
+
+// ParallelScorer instrumentation. The sample timer and queue-wait
+// histogram record per sample (lock-free, allocation-free, shared across
+// all workers); worker_samples records each worker's share of one
+// ScoreAll batch, so its spread is the per-worker throughput balance.
+var (
+	metScorerSamples   = obs.Default().Counter("eval.scorer.samples")
+	metScorerBatches   = obs.Default().Counter("eval.scorer.batches")
+	gaugeScorerWorkers = obs.Default().Gauge("eval.scorer.workers")
+	stageScorerSample  = obs.Default().StageTimer("eval.scorer.sample")
+	histQueueWait      = obs.Default().Histogram("eval.scorer.queue_wait_seconds")
+	histWorkerSamples  = obs.Default().Histogram("eval.scorer.worker_samples")
 )
 
 // defaultWorkers overrides the GOMAXPROCS-sized worker pool when positive.
@@ -114,6 +129,9 @@ func (ps *ParallelScorer) ScoreAll(samples []*Sample) ([]float64, error) {
 	if workers > n {
 		workers = n
 	}
+	metScorerBatches.Inc()
+	gaugeScorerWorkers.Set(float64(workers))
+	batchStart := time.Now()
 
 	out := make([]float64, n)
 	var next atomic.Int64   // next sample index to claim
@@ -126,6 +144,8 @@ func (ps *ParallelScorer) ScoreAll(samples []*Sample) ([]float64, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			handled := 0
+			defer func() { histWorkerSamples.Observe(float64(handled)) }()
 			defense, err := ps.spec.newDefense()
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
@@ -137,14 +157,21 @@ func (ps *ParallelScorer) ScoreAll(samples []*Sample) ([]float64, error) {
 				if i >= n {
 					return
 				}
+				// Queue wait: how long the sample sat in the batch before a
+				// worker claimed it — the batch-level backlog signal.
+				histQueueWait.Observe(time.Since(batchStart).Seconds())
+				sp := stageScorerSample.Start()
 				rng := rand.New(rand.NewSource(SampleSeed(ps.spec.seed, i)))
 				score, err := scoreSample(defense, &ps.spec, samples[i], rng)
+				sp.End()
 				if err != nil {
 					errOnce.Do(func() { firstErr = fmt.Errorf("eval: sample %d: %w", i, err) })
 					failed.Store(true)
 					return
 				}
 				out[i] = score
+				handled++
+				metScorerSamples.Inc()
 			}
 		}()
 	}

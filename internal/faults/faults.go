@@ -20,6 +20,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vibguard/internal/obs"
+)
+
+// Typed-error counters: every injected transport fault increments the
+// counter matching its error, so a fault-matrix run shows up in /metrics
+// next to the syncnet retry counters it provokes.
+var (
+	metInjectedRefusals = obs.Default().Counter("faults.injected.refusals")
+	metInjectedResets   = obs.Default().Counter("faults.injected.resets")
 )
 
 // Injected transport errors. They are returned (and observed by the peer as
@@ -91,6 +101,7 @@ func (in *Injector) WrapDial(base func(addr string, timeout time.Duration) (net.
 	return func(addr string, timeout time.Duration) (net.Conn, error) {
 		attempt := in.dials.Add(1) - 1
 		if attempt < int64(in.spec.RefuseDials) {
+			metInjectedRefusals.Inc()
 			return nil, ErrInjectedRefusal
 		}
 		conn, err := base(addr, timeout)
@@ -168,6 +179,7 @@ func (c *faultConn) Read(p []byte) (int, error) {
 		time.Sleep(delay)
 	}
 	if reset {
+		metInjectedResets.Inc()
 		c.abort()
 		return 0, ErrInjectedReset
 	}

@@ -5,7 +5,21 @@ import (
 	"math/rand"
 
 	"vibguard/internal/dsp"
+	"vibguard/internal/obs"
 )
+
+// signalCounters counts applied corruptions per kind, indexed by
+// SignalKind (SignalNone included: a no-op application is still a matrix
+// cell). Bound at init so Apply stays allocation-free.
+var signalCounters = [...]*obs.Counter{
+	SignalNone:         obs.Default().Counter("faults.signal.none"),
+	SignalTruncate:     obs.Default().Counter("faults.signal.truncate"),
+	SignalClip:         obs.Default().Counter("faults.signal.clip"),
+	SignalNonFinite:    obs.Default().Counter("faults.signal.nonfinite"),
+	SignalDCOffset:     obs.Default().Counter("faults.signal.dc-offset"),
+	SignalRateMismatch: obs.Default().Counter("faults.signal.rate-mismatch"),
+	SignalDropout:      obs.Default().Counter("faults.signal.dropout"),
+}
 
 // SignalKind identifies one class of recording corruption. The kinds model
 // the degraded-capture failure modes of a real deployment: a wearable that
@@ -92,6 +106,9 @@ func (s SignalSpec) defaultSeverity() float64 {
 // Apply returns a corrupted copy of x. The input is never mutated, and the
 // output depends only on (x, Kind, Severity, Seed) — same spec, same bytes.
 func (s SignalSpec) Apply(x []float64) []float64 {
+	if int(s.Kind) >= 0 && int(s.Kind) < len(signalCounters) {
+		signalCounters[s.Kind].Inc()
+	}
 	out := make([]float64, len(x))
 	copy(out, x)
 	if len(out) == 0 {

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketIndexBoundsRoundTrip(t *testing.T) {
+	// Every representative value must land in a bucket whose bounds
+	// contain it.
+	values := []float64{1e-12, 1e-9, 2.5e-7, 1e-3, 0.7, 1, 1.5, 42, 1e6}
+	for _, v := range values {
+		i := bucketIndex(v)
+		lower, upper := bucketBounds(i)
+		if v < lower || v >= upper {
+			t.Errorf("value %g in bucket %d with bounds [%g, %g)", v, i, lower, upper)
+		}
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	if i := bucketIndex(0); i != 0 {
+		t.Errorf("zero -> bucket %d, want 0 (underflow)", i)
+	}
+	if i := bucketIndex(-1); i != 0 {
+		t.Errorf("negative -> bucket %d, want 0", i)
+	}
+	if i := bucketIndex(math.NaN()); i != 0 {
+		t.Errorf("NaN -> bucket %d, want 0", i)
+	}
+	if i := bucketIndex(math.Inf(1)); i != histBuckets-1 {
+		t.Errorf("+Inf -> bucket %d, want overflow", i)
+	}
+	if i := bucketIndex(1e300); i != histBuckets-1 {
+		t.Errorf("1e300 -> bucket %d, want overflow", i)
+	}
+	if i := bucketIndex(1e-300); i != 0 {
+		t.Errorf("1e-300 -> bucket %d, want underflow", i)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := 1e-11; v < 1e7; v *= 1.07 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucket index not monotone at %g: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+// TestQuantileAccuracy draws a seeded log-normal sample (latency-shaped:
+// multiplicative spread across decades) and requires the streamed
+// quantiles to match the exact empirical quantiles within the log-linear
+// bucket resolution (~1/histSubCount relative).
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := New()
+	h := r.Histogram("lat")
+	const n = 50000
+	values := make([]float64, n)
+	for i := range values {
+		// median e^-7 s ≈ 0.9 ms, sigma one decade-ish.
+		v := math.Exp(rng.NormFloat64()*1.2 - 7)
+		values[i] = v
+		h.Observe(v)
+	}
+	sort.Float64s(values)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		exact := values[int(q*float64(n-1))]
+		got := h.Quantile(q)
+		relErr := math.Abs(got-exact) / exact
+		if relErr > 2.0/histSubCount {
+			t.Errorf("q=%v: got %g, exact %g (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Min != values[0] || snap.Max != values[n-1] {
+		t.Errorf("min/max = %g/%g, want %g/%g", snap.Min, snap.Max, values[0], values[n-1])
+	}
+	exactMean := 0.0
+	for _, v := range values {
+		exactMean += v
+	}
+	exactMean /= n
+	if math.Abs(snap.Mean-exactMean)/exactMean > 1e-9 {
+		t.Errorf("mean = %g, want %g", snap.Mean, exactMean)
+	}
+}
+
+func TestQuantileExtremesClampToObserved(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	h.Observe(3)
+	h.Observe(5)
+	h.Observe(7)
+	if q := h.Quantile(0); q < 3 {
+		t.Errorf("q0 = %v, want >= observed min", q)
+	}
+	if q := h.Quantile(1); q > 7 {
+		t.Errorf("q1 = %v, want <= observed max", q)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	r := New()
+	h := r.Histogram("empty")
+	snap := h.Snapshot()
+	if snap != (HistogramSnapshot{}) {
+		t.Errorf("empty snapshot = %+v, want zero value", snap)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestSingleValueQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("one")
+	h.Observe(0.125) // exact power of two: bucket bounds hit it exactly
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0.125 {
+			t.Errorf("q%v = %v, want 0.125", q, got)
+		}
+	}
+}

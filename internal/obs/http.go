@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// MetricsHandler serves the registry snapshot as JSON ("application/json",
+// pretty-printed: the endpoint is for humans and scrapers alike).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// HealthHandler reports liveness; anything that can serve it is alive.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry under the expvar name
+// "vibguard", so the standard /debug/vars page carries the pipeline
+// metrics next to the runtime's memstats. Safe to call more than once.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("vibguard", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// DebugMux builds the debug endpoint surface served by
+// vibguardd -debug-addr:
+//
+//	/metrics      registry snapshot as JSON
+//	/healthz      liveness
+//	/debug/vars   expvar (includes the registry under "vibguard")
+//	/debug/pprof  CPU/heap/goroutine profiles
+func DebugMux(r *Registry) *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/healthz", HealthHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMetricsHandlerServesParsableSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("requests").Add(2)
+	r.StageTimer("stage.align").Start().End()
+	srv := httptest.NewServer(MetricsHandler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics output does not parse: %v", err)
+	}
+	if snap.Counters["requests"] != 2 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["stage.align"].Count != 1 {
+		t.Errorf("histograms = %v", snap.Histograms)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("x").Inc()
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/healthz", "/debug/vars", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s: empty body", path)
+		}
+	}
+
+	// /healthz and /debug/vars must be JSON too.
+	for _, path := range []string{"/healthz", "/debug/vars"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Errorf("%s does not parse as JSON: %v", path, err)
+		}
+	}
+}
+
+func TestPublishExpvarIsIdempotent(t *testing.T) {
+	PublishExpvar()
+	PublishExpvar() // a second call must not panic (expvar.Publish would)
+}

@@ -1,0 +1,62 @@
+package obs
+
+import "time"
+
+// StageTimer measures the duration of one pipeline stage (align, segment,
+// sensing, ...) into a histogram of seconds. The Start/End pair is the
+// span API:
+//
+//	defer stageAlign.Start().End()
+//
+// or, when the stage is a region rather than a whole function:
+//
+//	sp := stageAlign.Start()
+//	... stage work ...
+//	sp.End()
+//
+// Span is a value type, so timing a stage allocates nothing; End performs
+// one lock-free histogram observation.
+type StageTimer struct {
+	h *Histogram
+}
+
+// Histogram exposes the underlying histogram (seconds).
+func (t *StageTimer) Histogram() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.h
+}
+
+// Start opens a span. Starting a nil timer returns a span whose End is a
+// no-op.
+func (t *StageTimer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{h: t.h, start: time.Now()}
+}
+
+// ObserveSince records the elapsed time since start, for callers that
+// carry their own time.Time instead of a Span.
+func (t *StageTimer) ObserveSince(start time.Time) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(time.Since(start).Seconds())
+}
+
+// Span is one in-flight stage measurement.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// End records the span's duration in seconds. End on a zero Span is a
+// no-op; calling End twice records twice.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}

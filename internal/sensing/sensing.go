@@ -13,6 +13,17 @@ import (
 
 	"vibguard/internal/device"
 	"vibguard/internal/dsp"
+	"vibguard/internal/obs"
+)
+
+// Stage timers of the "pipeline.stage.*" family (see internal/core/obs.go):
+// replay is the cross-domain sensing pass (speaker replay + accelerometer
+// capture), stft the whole feature extraction (high-pass, STFT, crop,
+// normalization). Observations are lock-free and allocation-free, so the
+// parallel scoring workers share these handles without contention.
+var (
+	stageReplay = obs.Default().StageTimer("pipeline.stage.replay")
+	stageSTFT   = obs.Default().StageTimer("pipeline.stage.stft")
 )
 
 // Config parameterizes vibration-domain feature extraction.
@@ -131,9 +142,14 @@ func ExtractFeatures(vib []float64, cfg Config) (*dsp.Spectrogram, error) {
 // SenseFeatures runs one full cross-domain sensing pass: replay the audio
 // on the wearable, capture the vibration, and extract features.
 func SenseFeatures(w *device.Wearable, audio []float64, cfg Config, rng *rand.Rand) (*dsp.Spectrogram, error) {
+	sp := stageReplay.Start()
 	vib, err := w.SenseVibration(audio, rng)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sensing: %w", err)
 	}
-	return ExtractFeatures(vib, cfg)
+	sp = stageSTFT.Start()
+	feat, err := ExtractFeatures(vib, cfg)
+	sp.End()
+	return feat, err
 }

@@ -6,6 +6,22 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"vibguard/internal/obs"
+)
+
+// ReliableClient instrumentation: transport attempt counts, redials,
+// backoff sleeps (count + slept duration), per-attempt latency, and the
+// two terminal outcomes retries cannot help (wearable application errors,
+// exhausted policies). Recording is lock-free and allocation-free.
+var (
+	metClientAttempts  = obs.Default().Counter("syncnet.client.attempts")
+	metClientRedials   = obs.Default().Counter("syncnet.client.redials")
+	metClientBackoffs  = obs.Default().Counter("syncnet.client.backoffs")
+	metClientWearErrs  = obs.Default().Counter("syncnet.client.wearable_errors")
+	metClientExhausted = obs.Default().Counter("syncnet.client.retries_exhausted")
+	histClientBackoff  = obs.Default().Histogram("syncnet.client.backoff_seconds")
+	stageClientAttempt = obs.Default().StageTimer("syncnet.client.attempt")
 )
 
 // DialFunc abstracts the transport dial so callers (and the fault-injection
@@ -218,29 +234,39 @@ func (rc *ReliableClient) RequestRecording() ([]float64, error) {
 	var lastErr error
 	for attempt := 0; attempt < rc.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(rc.policy.Backoff(attempt - 1))
+			backoff := rc.policy.Backoff(attempt - 1)
+			metClientBackoffs.Inc()
+			histClientBackoff.Observe(backoff.Seconds())
+			time.Sleep(backoff)
 		}
 		rc.attempts++
+		metClientAttempts.Inc()
+		attemptStart := time.Now()
 		if rc.client == nil {
 			client, err := dialWearableVia(rc.dial, rc.addr, rc.dialTimeout)
 			if err != nil {
 				lastErr = err
+				stageClientAttempt.ObserveSince(attemptStart)
 				continue
 			}
 			rc.redials++
+			metClientRedials.Inc()
 			rc.client = client
 		}
 		samples, err := rc.client.RequestRecording(rc.requestTimeout)
+		stageClientAttempt.ObserveSince(attemptStart)
 		if err == nil {
 			return samples, nil
 		}
 		var wearErr *WearableError
 		if errors.As(err, &wearErr) {
+			metClientWearErrs.Inc()
 			return nil, err
 		}
 		lastErr = err
 		_ = rc.client.Close()
 		rc.client = nil
 	}
+	metClientExhausted.Inc()
 	return nil, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, rc.policy.MaxAttempts, lastErr)
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — observability smoke test (make obs-smoke).
+#
+# Boots vibguardd with an ephemeral debug listener, waits for /healthz,
+# lets the scenario pass finish, then asserts that /metrics parses and
+# carries nonzero Inspect stage spans and syncnet attempt counters.
+set -euo pipefail
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$tmp/vibguardd" ./cmd/vibguardd
+"$tmp/vibguardd" -seed 1 -debug-addr 127.0.0.1:0 -log-format text >"$tmp/log" 2>&1 &
+pid=$!
+
+die() {
+    echo "obs-smoke: $1" >&2
+    echo "--- vibguardd log ---" >&2
+    cat "$tmp/log" >&2
+    exit 1
+}
+
+# The daemon logs the resolved debug address before training starts.
+addr=""
+for _ in $(seq 1 120); do
+    addr=$(sed -n 's/.*debug endpoints serving.*addr=\([0-9.:]*\).*/\1/p' "$tmp/log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || die "daemon exited before serving"
+    sleep 0.5
+done
+[ -n "$addr" ] || die "no debug address logged"
+
+curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"' || die "/healthz not ok"
+
+# Wait for both scenarios to run so the pipeline metrics are populated.
+for _ in $(seq 1 240); do
+    grep -q "scenarios complete" "$tmp/log" && break
+    kill -0 "$pid" 2>/dev/null || die "daemon exited before finishing scenarios"
+    sleep 0.5
+done
+grep -q "scenarios complete" "$tmp/log" || die "scenario pass did not finish"
+
+metrics=$(curl -fsS "http://$addr/metrics") || die "/metrics fetch failed"
+for name in pipeline.stage.align pipeline.stage.segment pipeline.stage.correlate \
+            core.inspect.total syncnet.client.attempts; do
+    echo "$metrics" | grep -q "\"$name\"" || die "/metrics missing $name"
+done
+# Nonzero activity: two Inspects and at least two transport attempts.
+echo "$metrics" | grep -q '"core.inspect.total": 0' && die "inspect counter is zero"
+echo "$metrics" | grep -q '"syncnet.client.attempts": 0' && die "attempt counter is zero"
+curl -fsS "http://$addr/debug/vars" | grep -q '"vibguard"' || die "expvar missing registry"
+
+echo "obs-smoke: ok (debug addr $addr)"
