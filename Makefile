@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring bench-dsp benchgen obs-smoke
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp benchgen obs-smoke serve-smoke serve-race
 
 build:
 	$(GO) build ./...
@@ -55,3 +55,17 @@ benchgen:
 # attempt counters are populated after the scenario pass.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Session-server smoke test: boot vibguardd -serve against a simulated
+# wearable fleet, assert the concurrent fleet pass completes with matching
+# verdicts, scrape the serve counters from /metrics, and require a clean
+# drain on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Race gate for the session server and its daemon wiring: the 64-session
+# soak, the fault matrix, and the drain suite all run under the race
+# detector.
+serve-race:
+	$(GO) vet ./internal/serve/ ./cmd/vibguardd/
+	$(GO) test -race -timeout 10m ./internal/serve/ ./cmd/vibguardd/

@@ -7,7 +7,13 @@
 //
 // The VA side fetches recordings through the hardened syncnet client:
 // bounded retries with exponential backoff and per-attempt deadlines, so a
-// flaky WiFi link degrades to a typed error instead of a hang.
+// flaky WiFi link degrades to a typed error instead of a hang. One agent
+// and one client serve the whole scenario pass — the wearable link is a
+// persistent session, not a per-command connection.
+//
+// With -serve the daemon instead boots the session-oriented detection
+// server (internal/serve) against a simulated wearable fleet and drives a
+// burst of concurrent sessions through its TCP front-end; see serve.go.
 //
 // With -debug-addr the daemon serves its observability surface over HTTP
 // (/metrics pipeline counters and stage-latency quantiles as JSON,
@@ -23,6 +29,8 @@
 //	vibguardd [-addr 127.0.0.1:0] [-spl 80] [-retries 4]
 //	          [-retry-base 25ms] [-retry-max 500ms]
 //	          [-seed 0] [-debug-addr 127.0.0.1:6060] [-log-format text]
+//	vibguardd -serve [-serve-addr 127.0.0.1:0] [-sessions 64]
+//	          [-wearables 8] [-serve-workers 0] [-queue-depth 0]
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -52,6 +61,12 @@ func main() {
 	seed := flag.Int64("seed", 0, "RNG seed; 0 derives one from the clock (the seed is always logged, so any run can be replayed with -seed)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty = off)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	serveMode := flag.Bool("serve", false, "run the session-oriented detection server against a simulated wearable fleet")
+	serveAddr := flag.String("serve-addr", "127.0.0.1:0", "session front-end listen address (-serve)")
+	sessions := flag.Int("sessions", 64, "concurrent sessions to fire at the server (-serve)")
+	wearables := flag.Int("wearables", 8, "simulated wearable fleet size (-serve)")
+	serveWorkers := flag.Int("serve-workers", 0, "detection worker pool size, 0 = GOMAXPROCS (-serve)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth, 0 = -sessions so the demo burst is never shed (-serve)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -69,8 +84,23 @@ func main() {
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
-	logger.Info("starting", "seed", *seed, "spl", *attackSPL, "retries", *retries)
+	logger.Info("starting", "seed", *seed, "spl", *attackSPL, "retries", *retries, "serve", *serveMode)
 
+	if *serveMode {
+		opts := serveOptions{
+			addr:       *serveAddr,
+			sessions:   *sessions,
+			wearables:  *wearables,
+			workers:    *serveWorkers,
+			queueDepth: *queueDepth,
+			attackSPL:  *attackSPL,
+		}
+		if err := runServe(logger, opts, *debugAddr, *seed); err != nil {
+			logger.Error("fatal", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(logger, *addr, *debugAddr, *attackSPL, *seed, policy); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
@@ -108,6 +138,123 @@ func serveDebug(logger *slog.Logger, debugAddr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// scenario is one acoustic situation of the demo pass: the command heard
+// at the VA and at the wearable (network delay already applied).
+type scenario struct {
+	name         string
+	vaRec        []float64
+	wearRec      []float64
+	expectAttack bool
+}
+
+// buildScenarios synthesizes the demo command and renders both acoustic
+// scenarios up front, so the serving loop only moves recordings around.
+// The synthesized utterance is returned alongside for callers that need
+// its ground-truth phoneme alignment.
+func buildScenarios(logger *slog.Logger, rng *rand.Rand, attackSPL float64) ([]scenario, *vibguard.Utterance, error) {
+	user := vibguard.NewVoicePool(1, rng.Int63())[0]
+	synth, err := vibguard.NewSynthesizer(user)
+	if err != nil {
+		return nil, nil, err
+	}
+	cmd := vibguard.Commands()[rng.Intn(len(vibguard.Commands()))]
+	utt, err := synth.Synthesize(cmd)
+	if err != nil {
+		return nil, nil, err
+	}
+	room := vibguard.Rooms()[0]
+	logger.Info("scenario setup",
+		"command", cmd.Text, "speaker", user.Name,
+		"room", room.Name, "barrier", room.Barrier.Name)
+
+	transmit := func(spl, dist float64, thru bool) ([]float64, error) {
+		return room.Transmit(utt.Samples, acoustics.PathConfig{
+			SourceSPL: spl, DistanceM: dist, ThroughBarrier: thru,
+			SampleRate: vibguard.SampleRate,
+		}, rng)
+	}
+	specs := []struct {
+		name         string
+		spl, vaDist  float64
+		wearDist     float64
+		thru         bool
+		expectAttack bool
+	}{
+		{"legitimate command", 72, 1.5, 0.3, false, false},
+		{"thru-barrier replay attack", attackSPL, 2.1, 2.4, true, true},
+	}
+	out := make([]scenario, 0, len(specs))
+	for _, sp := range specs {
+		vaRec, err := transmit(sp.spl, sp.vaDist, sp.thru)
+		if err != nil {
+			return nil, nil, err
+		}
+		wearRec, err := transmit(sp.spl, sp.wearDist, sp.thru)
+		if err != nil {
+			return nil, nil, err
+		}
+		wearRec = vibguard.SimulateNetworkDelay(wearRec, 0.05+rng.Float64()*0.1, rng)
+		out = append(out, scenario{name: sp.name, vaRec: vaRec, wearRec: wearRec, expectAttack: sp.expectAttack})
+	}
+	return out, utt, nil
+}
+
+// stagedAgent starts one wearable agent whose served recording can be
+// swapped between requests, so the whole scenario pass shares a single
+// agent and a single client connection instead of redialing per command.
+func stagedAgent(logger *slog.Logger, addr string) (*syncnet.WearableAgent, func([]float64), error) {
+	var staged atomic.Value // []float64
+	agent, err := syncnet.NewWearableAgent(addr, func(uint64) ([]float64, error) {
+		rec, _ := staged.Load().([]float64)
+		if rec == nil {
+			return nil, fmt.Errorf("no recording staged")
+		}
+		return rec, nil
+	}, syncnet.WithConnErrorHandler(func(err error) {
+		logger.Warn("wearable agent", "err", err)
+	}))
+	if err != nil {
+		return nil, nil, err
+	}
+	return agent, func(rec []float64) { staged.Store(rec) }, nil
+}
+
+// scenarioPass fetches each scenario's wearable recording through the one
+// shared client and inspects it, logging every verdict. stage swaps the
+// recording the shared agent serves. It returns how many verdicts differed
+// from the scenario's expectation.
+func scenarioPass(logger *slog.Logger, defense *vibguard.Defense, client *syncnet.ReliableClient,
+	stage func([]float64), scenarios []scenario, rng *rand.Rand) (int, error) {
+	mismatches := 0
+	for _, sc := range scenarios {
+		stage(sc.wearRec)
+		fetched, err := client.RequestRecording()
+		if err != nil {
+			return mismatches, fmt.Errorf("fetch %s: %w", sc.name, err)
+		}
+		verdict, err := defense.Inspect(sc.vaRec, fetched, rng)
+		if err != nil {
+			return mismatches, fmt.Errorf("inspect %s: %w", sc.name, err)
+		}
+		status := "ACCEPTED"
+		if verdict.Attack {
+			status = "REJECTED (thru-barrier attack)"
+		}
+		if verdict.Attack != sc.expectAttack {
+			mismatches++
+		}
+		syncMs := float64(verdict.SyncOffset) * 1000 / vibguard.SampleRate
+		logger.Info("verdict",
+			"scenario", sc.name,
+			"score", fmt.Sprintf("%+.3f", verdict.Score),
+			"sync_ms", fmt.Sprintf("%.1f", syncMs),
+			"spans", len(verdict.Spans),
+			"status", status,
+			"as_expected", verdict.Attack == sc.expectAttack)
+	}
+	return mismatches, nil
+}
+
 func run(logger *slog.Logger, addr, debugAddr string, attackSPL float64, seed int64, policy syncnet.RetryPolicy) error {
 	rng := rand.New(rand.NewSource(seed))
 
@@ -123,90 +270,32 @@ func run(logger *slog.Logger, addr, debugAddr string, attackSPL float64, seed in
 		return err
 	}
 
-	// Synthesize the user's command and both acoustic scenarios.
-	user := vibguard.NewVoicePool(1, rng.Int63())[0]
-	synth, err := vibguard.NewSynthesizer(user)
+	scenarios, _, err := buildScenarios(logger, rng, attackSPL)
 	if err != nil {
 		return err
 	}
-	cmd := vibguard.Commands()[rng.Intn(len(vibguard.Commands()))]
-	utt, err := synth.Synthesize(cmd)
+
+	// One agent serves the whole pass over one TCP connection; the VA side
+	// fetches every recording through one hardened client, as in the real
+	// deployment where the wearable link is persistent.
+	agent, stage, err := stagedAgent(logger, addr)
 	if err != nil {
 		return err
 	}
-	room := vibguard.Rooms()[0]
-	logger.Info("scenario setup",
-		"command", cmd.Text, "speaker", user.Name,
-		"room", room.Name, "barrier", room.Barrier.Name)
-
-	transmit := func(spl, dist float64, thru bool) ([]float64, error) {
-		return room.Transmit(utt.Samples, acoustics.PathConfig{
-			SourceSPL: spl, DistanceM: dist, ThroughBarrier: thru,
-			SampleRate: vibguard.SampleRate,
-		}, rng)
+	defer func() { _ = agent.Close() }()
+	client, err := syncnet.NewReliableClient(agent.Addr(), syncnet.WithRetryPolicy(policy))
+	if err != nil {
+		return err
 	}
+	defer func() { _ = client.Close() }()
 
-	scenarios := []struct {
-		name         string
-		spl, vaDist  float64
-		wearDist     float64
-		thru         bool
-		expectAttack bool
-	}{
-		{"legitimate command", 72, 1.5, 0.3, false, false},
-		{"thru-barrier replay attack", attackSPL, 2.1, 2.4, true, true},
+	mismatches, err := scenarioPass(logger, defense, client, stage, scenarios, rng)
+	if err != nil {
+		return err
 	}
-	for _, sc := range scenarios {
-		vaRec, err := transmit(sc.spl, sc.vaDist, sc.thru)
-		if err != nil {
-			return err
-		}
-		wearRec, err := transmit(sc.spl, sc.wearDist, sc.thru)
-		if err != nil {
-			return err
-		}
-		wearRec = vibguard.SimulateNetworkDelay(wearRec, 0.05+rng.Float64()*0.1, rng)
-
-		// The wearable agent serves its recording over TCP; the VA side
-		// fetches it through the hardened client, as in the real deployment.
-		// Per-connection agent failures are logged instead of vanishing.
-		agent, err := syncnet.NewWearableAgent(addr, func(uint64) ([]float64, error) {
-			return wearRec, nil
-		}, syncnet.WithConnErrorHandler(func(err error) {
-			logger.Warn("wearable agent", "err", err)
-		}))
-		if err != nil {
-			return err
-		}
-		client, err := syncnet.NewReliableClient(agent.Addr(), syncnet.WithRetryPolicy(policy))
-		if err != nil {
-			_ = agent.Close()
-			return err
-		}
-		fetched, err := client.RequestRecording()
-		_ = client.Close()
-		_ = agent.Close()
-		if err != nil {
-			return err
-		}
-
-		verdict, err := defense.Inspect(vaRec, fetched, rng)
-		if err != nil {
-			return err
-		}
-		status := "ACCEPTED"
-		if verdict.Attack {
-			status = "REJECTED (thru-barrier attack)"
-		}
-		syncMs := float64(verdict.SyncOffset) * 1000 / vibguard.SampleRate
-		logger.Info("verdict",
-			"scenario", sc.name,
-			"score", fmt.Sprintf("%+.3f", verdict.Score),
-			"sync_ms", fmt.Sprintf("%.1f", syncMs),
-			"spans", len(verdict.Spans),
-			"status", status,
-			"as_expected", verdict.Attack == sc.expectAttack)
-	}
+	logger.Info("scenario pass complete",
+		"scenarios", len(scenarios), "mismatches", mismatches,
+		"conn_errors", agent.ConnErrors(), "redials", client.Redials())
 
 	if debugAddr != "" {
 		// Keep the observability surface alive until the operator stops us,

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vibguard"
+	"vibguard/internal/acoustics"
+	"vibguard/internal/core"
+	"vibguard/internal/device"
+	"vibguard/internal/serve"
+	"vibguard/internal/syncnet"
+)
+
+// serveOptions configures the -serve fleet pass.
+type serveOptions struct {
+	addr       string
+	sessions   int
+	wearables  int
+	workers    int
+	queueDepth int
+	attackSPL  float64
+}
+
+// fleetWearable is one simulated wearable of the -serve fleet: a live TCP
+// agent plus the VA-side recording of the command it heard and the verdict
+// sessions against it should produce.
+type fleetWearable struct {
+	agent        *syncnet.WearableAgent
+	vaRec        []float64
+	expectAttack bool
+}
+
+// buildFleet synthesizes one command, renders the legitimate and
+// thru-barrier acoustic paths, and boots n wearable agents — even indexes
+// heard the legitimate command, odd indexes the replay attack — each with
+// its own seeded network delay, so the fleet is replayable from the seed.
+func buildFleet(logger *slog.Logger, rng *rand.Rand, n int, attackSPL float64) ([]*fleetWearable, error) {
+	user := vibguard.NewVoicePool(1, rng.Int63())[0]
+	synth, err := vibguard.NewSynthesizer(user)
+	if err != nil {
+		return nil, err
+	}
+	cmd := vibguard.Commands()[rng.Intn(len(vibguard.Commands()))]
+	utt, err := synth.Synthesize(cmd)
+	if err != nil {
+		return nil, err
+	}
+	room := vibguard.Rooms()[0]
+	logger.Info("fleet setup", "command", cmd.Text, "speaker", user.Name, "room", room.Name, "wearables", n)
+
+	transmit := func(spl, dist float64, thru bool) ([]float64, error) {
+		return room.Transmit(utt.Samples, acoustics.PathConfig{
+			SourceSPL: spl, DistanceM: dist, ThroughBarrier: thru,
+			SampleRate: vibguard.SampleRate,
+		}, rng)
+	}
+	legitVA, err := transmit(72, 1.5, false)
+	if err != nil {
+		return nil, err
+	}
+	legitNear, err := transmit(72, 0.3, false)
+	if err != nil {
+		return nil, err
+	}
+	attackVA, err := transmit(attackSPL, 2.1, true)
+	if err != nil {
+		return nil, err
+	}
+	attackNear, err := transmit(attackSPL, 2.4, true)
+	if err != nil {
+		return nil, err
+	}
+
+	fleet := make([]*fleetWearable, 0, n)
+	for i := 0; i < n; i++ {
+		attack := i%2 == 1
+		near, va := legitNear, legitVA
+		if attack {
+			near, va = attackNear, attackVA
+		}
+		wear := vibguard.SimulateNetworkDelay(near, 0.05+rng.Float64()*0.1, rng)
+		agent, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) {
+			return wear, nil
+		})
+		if err != nil {
+			for _, fw := range fleet {
+				_ = fw.agent.Close()
+			}
+			return nil, err
+		}
+		fleet = append(fleet, &fleetWearable{agent: agent, vaRec: va, expectAttack: attack})
+	}
+	return fleet, nil
+}
+
+// runServe boots the session server against a simulated wearable fleet,
+// fires opts.sessions concurrent sessions through its TCP front-end,
+// reports the pass, and drains.
+func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int64) error {
+	if opts.sessions < 1 || opts.wearables < 1 {
+		return fmt.Errorf("-sessions and -wearables must be >= 1")
+	}
+	if opts.queueDepth == 0 {
+		// Size the queue for the demo burst by default; pass -queue-depth
+		// explicitly to watch the admission queue shed load instead.
+		opts.queueDepth = opts.sessions
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	if debugAddr != "" {
+		if _, err := serveDebug(logger, debugAddr); err != nil {
+			return err
+		}
+	}
+
+	// Train the effective-phoneme BRNN once; the trained model is
+	// read-only at inference, so every worker's Defense shares it.
+	logger.Info("training phoneme detector")
+	det, err := vibguard.TrainPhonemeDetector(vibguard.DetectorTraining{Seed: rng.Int63()})
+	if err != nil {
+		return err
+	}
+	segmenter := vibguard.BRNNSegmenter(det)
+
+	fleet, err := buildFleet(logger, rng, opts.wearables, opts.attackSPL)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, fw := range fleet {
+			_ = fw.agent.Close()
+		}
+	}()
+
+	srv, err := serve.NewServer(serve.Config{
+		NewDefense: func() (*core.Defense, error) {
+			return core.NewDefense(core.DefaultConfig(device.NewFossilGen5(), segmenter))
+		},
+		Workers:        opts.workers,
+		QueueDepth:     opts.queueDepth,
+		SessionTimeout: 2 * time.Minute,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen(opts.addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("session server serving",
+		"addr", addr, "workers", srv.Workers(), "queue_depth", srv.QueueDepth())
+
+	var completed, shed, failed, mismatches atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < opts.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fw := fleet[i%len(fleet)]
+			client, err := serve.DialServer(addr, 5*time.Second)
+			if err != nil {
+				failed.Add(1)
+				logger.Error("session dial", "session", i, "err", err)
+				return
+			}
+			defer func() { _ = client.Close() }()
+			v, err := client.Inspect(serve.Request{
+				WearableAddr: fw.agent.Addr(),
+				VARecording:  fw.vaRec,
+				RNGSeed:      serve.SessionSeed(seed, uint64(i)),
+			})
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				shed.Add(1)
+			case err != nil:
+				failed.Add(1)
+				logger.Error("session failed", "session", i, "err", err)
+			default:
+				completed.Add(1)
+				if v.Attack != fw.expectAttack {
+					mismatches.Add(1)
+					logger.Error("verdict mismatch",
+						"session", i, "attack", v.Attack, "score", v.Score, "want", fw.expectAttack)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	logger.Info("fleet pass complete",
+		"sessions", opts.sessions,
+		"completed", completed.Load(),
+		"shed", shed.Load(),
+		"failed", failed.Load(),
+		"mismatches", mismatches.Load())
+
+	if debugAddr != "" {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		logger.Info("fleet pass complete; debug endpoints still serving (SIGINT/SIGTERM to exit)")
+		<-stop
+	}
+
+	logger.Info("draining session server")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Info("session server drained")
+	if failed.Load() > 0 || mismatches.Load() > 0 {
+		return fmt.Errorf("fleet pass: %d failed sessions, %d verdict mismatches", failed.Load(), mismatches.Load())
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+)
+
+// TestInspectThresholdBoundary drives the full pipeline to the exact
+// decision boundary: it first measures the score of a real recording pair
+// under a fixed seed, then rebuilds the defense with the threshold set to
+// that score (and one ULP above it) and re-runs the identical inspection.
+// Detect is a strict less-than, so score == threshold must pass while
+// threshold = Nextafter(score, +Inf) must flag — a bit-exact contract that
+// also pins Inspect's determinism (same seed, same score, both runs).
+func TestInspectThresholdBoundary(t *testing.T) {
+	spans, legitVA, legitWear, _, _ := buildScenario(t, 21)
+	seg := &detector.StaticSegmenter{Spans: spans}
+
+	inspect := func(threshold float64) *Verdict {
+		t.Helper()
+		cfg := DefaultConfig(device.NewFossilGen5(), seg)
+		cfg.Threshold = threshold
+		d, err := NewDefense(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := d.Inspect(legitVA, legitWear, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	score := inspect(DefaultThreshold).Score
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		t.Fatalf("scenario score %v is not finite", score)
+	}
+
+	at := inspect(score)
+	if at.Score != score {
+		t.Fatalf("Inspect is not deterministic under a fixed seed: %v then %v", score, at.Score)
+	}
+	if at.Attack {
+		t.Errorf("score %v at threshold %v flagged as attack; Detect must be a strict less-than", at.Score, score)
+	}
+	above := inspect(math.Nextafter(score, math.Inf(1)))
+	if !above.Attack {
+		t.Errorf("score %v one ULP below threshold must flag as attack", above.Score)
+	}
+	below := inspect(math.Nextafter(score, math.Inf(-1)))
+	if below.Attack {
+		t.Errorf("score %v one ULP above threshold must pass", below.Score)
+	}
+}
+
+// TestInspectNonFiniteScoreTyped pins the ErrNonFiniteScore contract at
+// the core layer: recordings whose every sample is finite (so validation
+// admits them) but whose power overflows float64 must fail Inspect with
+// the detector's typed sentinel, not a verdict built from NaN.
+func TestInspectNonFiniteScoreTyped(t *testing.T) {
+	spans, legitVA, legitWear, _, _ := buildScenario(t, 21)
+	huge := func(x []float64) []float64 {
+		out := make([]float64, len(x))
+		for i, v := range x {
+			out[i] = v * 1e160
+		}
+		return out
+	}
+	d, err := NewDefense(DefaultConfig(device.NewFossilGen5(), &detector.StaticSegmenter{Spans: spans}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Inspect(huge(legitVA), huge(legitWear), rand.New(rand.NewSource(33)))
+	if !errors.Is(err, detector.ErrNonFiniteScore) {
+		t.Fatalf("Inspect err = %v, want detector.ErrNonFiniteScore", err)
+	}
+	if v != nil {
+		t.Errorf("Inspect returned a verdict (%+v) alongside ErrNonFiniteScore", v)
+	}
+}
+
+// TestDefaultThresholdAliasesDetector pins the cross-package constant: the
+// core default must stay an alias of the detector's, so retuning the
+// calibrated threshold can never reintroduce the historical 0.45-vs-0.5
+// drift between the two entry points.
+func TestDefaultThresholdAliasesDetector(t *testing.T) {
+	if DefaultThreshold != detector.DefaultThreshold {
+		t.Fatalf("core.DefaultThreshold = %v, detector.DefaultThreshold = %v; they must be one constant",
+			DefaultThreshold, detector.DefaultThreshold)
+	}
+}

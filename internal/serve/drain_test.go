@@ -1,0 +1,227 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vibguard/internal/serve"
+	"vibguard/internal/syncnet"
+)
+
+// TestGracefulDrain pins the Shutdown contract: with 2 workers pinned on a
+// gated wearable and 4 more sessions queued, Shutdown must (1) close the
+// front-end listener immediately — observable while the drain is still
+// waiting on in-flight work — (2) reject every queued-but-unstarted
+// session with ErrDraining, (3) let both in-flight sessions finish with
+// real verdicts, and (4) only then return.
+func TestGracefulDrain(t *testing.T) {
+	sc := scenarioFor(t)
+
+	// A gated agent: RecordFunc blocks until release closes, so in-flight
+	// sessions stay in flight exactly as long as the test wants.
+	var recordCalls atomic.Int64
+	release := make(chan struct{})
+	agent, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) {
+		recordCalls.Add(1)
+		<-release
+		return sc.legitWear, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	srv := newServer(t, serve.Config{
+		Workers:        2,
+		QueueDepth:     8,
+		SessionTimeout: time.Minute,
+		Seed:           serveSeed,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 6 // 2 in-flight + 4 queued
+	results := make([]error, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := srv.Submit(context.Background(), serve.Request{
+				WearableAddr: agent.Addr(),
+				VARecording:  sc.legitVA,
+				RNGSeed:      serve.SessionSeed(serveSeed, uint64(100+i)),
+			})
+			results[i] = err
+		}(i)
+	}
+
+	// Wait until both workers are pinned inside the gated RecordFunc.
+	waitFor(t, 10*time.Second, func() bool { return recordCalls.Load() >= 2 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := contextWithTimeout(30 * time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// (1) The listener must close while Shutdown is still blocked on the
+	// in-flight sessions (nothing has been released yet).
+	waitFor(t, 10*time.Second, func() bool {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return false
+		}
+		return true
+	})
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) before in-flight sessions finished", err)
+	default:
+	}
+
+	// (2) New sessions are rejected with the typed drain error.
+	if _, err := srv.Submit(context.Background(), serve.Request{
+		WearableAddr: agent.Addr(), VARecording: sc.legitVA,
+	}); !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("Submit during drain: err = %v, want ErrDraining", err)
+	}
+
+	// (3) Release the gate: the two in-flight sessions complete.
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	var completed, drained int
+	for i, err := range results {
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, serve.ErrDraining):
+			drained++
+		default:
+			t.Errorf("session %d: unexpected error %v", i, err)
+		}
+	}
+	if completed != 2 {
+		t.Errorf("completed = %d, want 2 (the in-flight sessions)", completed)
+	}
+	if drained != 4 {
+		t.Errorf("drain-rejected = %d, want 4 (the queued sessions)", drained)
+	}
+
+	// (4) After the drain, Submit keeps returning the typed rejection and
+	// a repeated Shutdown converges immediately.
+	if _, err := srv.Submit(context.Background(), serve.Request{
+		WearableAddr: agent.Addr(), VARecording: sc.legitVA,
+	}); !errors.Is(err, serve.ErrDraining) {
+		t.Errorf("Submit after drain: err = %v, want ErrDraining", err)
+	}
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("repeated Shutdown: %v", err)
+	}
+}
+
+// TestDrainDeliversFinalWireResponses verifies the front-end half-close:
+// a client whose session is in flight when Shutdown begins still receives
+// its verdict over the wire before the connection ends.
+func TestDrainDeliversFinalWireResponses(t *testing.T) {
+	sc := scenarioFor(t)
+	var recordCalls atomic.Int64
+	release := make(chan struct{})
+	agent, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) {
+		recordCalls.Add(1)
+		<-release
+		return sc.legitWear, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	srv := newServer(t, serve.Config{
+		Workers:        1,
+		QueueDepth:     4,
+		SessionTimeout: time.Minute,
+		Seed:           serveSeed,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := serve.DialServer(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	type reply struct {
+		attack bool
+		err    error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		v, err := client.Inspect(serve.Request{
+			WearableAddr: agent.Addr(),
+			VARecording:  sc.legitVA,
+			RNGSeed:      serve.SessionSeed(serveSeed, 4242),
+		})
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		got <- reply{attack: v.Attack}
+	}()
+
+	waitFor(t, 10*time.Second, func() bool { return recordCalls.Load() >= 1 })
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := contextWithTimeout(30 * time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Give the drain a moment to reach the in-flight wait, then release.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("in-flight wire session lost its response: %v", r.err)
+		}
+		if r.attack {
+			t.Error("legitimate in-flight session flagged as attack")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight wire response never arrived")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline trips.
+func waitFor(t *testing.T, limit time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

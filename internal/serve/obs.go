@@ -1,0 +1,23 @@
+package serve
+
+import "vibguard/internal/obs"
+
+// Server instrumentation, in the process-wide registry next to the
+// pipeline and syncnet metrics (DESIGN.md section 10). Counters split the
+// admission outcomes (accepted / shed / rejected-draining) from the
+// terminal outcomes (completed / failed / expired); the queue-depth gauge
+// tracks the bounded admission queue; the histograms give per-session
+// latency and queue-wait quantiles. All recording is lock-free and
+// allocation-free, so the worker hot path stays uncontended.
+var (
+	metSessionsAccepted = obs.Default().Counter("serve.sessions.accepted")
+	metSessionsShed     = obs.Default().Counter("serve.sessions.shed")
+	metSessionsDrainRej = obs.Default().Counter("serve.sessions.rejected_draining")
+	metSessionsDone     = obs.Default().Counter("serve.sessions.completed")
+	metSessionsFailed   = obs.Default().Counter("serve.sessions.failed")
+	metSessionsExpired  = obs.Default().Counter("serve.sessions.expired")
+	gaugeQueueDepth     = obs.Default().Gauge("serve.queue.depth")
+	gaugeWorkers        = obs.Default().Gauge("serve.workers")
+	histSessionLatency  = obs.Default().Histogram("serve.session.latency_seconds")
+	histQueueWait       = obs.Default().Histogram("serve.session.queue_wait_seconds")
+)

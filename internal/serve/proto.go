@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vibguard/internal/core"
+	"vibguard/internal/detector"
+	"vibguard/internal/syncnet"
+)
+
+// The front-end wire protocol mirrors the syncnet transport: length-free
+// gob frames over TCP, one request/response pair at a time per
+// connection. Clients that want concurrent sessions open several
+// connections — that keeps per-connection state trivial and lets the
+// drain half-close each connection knowing at most one response is in
+// flight on it.
+
+// wireRequest is one session submission frame.
+type wireRequest struct {
+	// ID correlates the response; chosen by the client.
+	ID uint64
+	// WearableAddr, VASamples, RNGSeed mirror Request.
+	WearableAddr string
+	VASamples    []float64
+	RNGSeed      int64
+}
+
+// wireResponse is one verdict (or typed failure) frame.
+type wireResponse struct {
+	ID uint64
+	OK bool
+	// Verdict fields (OK only). Spans carries the span count; the spans
+	// themselves stay server-side.
+	Score      float64
+	Attack     bool
+	SyncOffset int
+	Spans      int
+	// ErrKind and Err describe the failure (!OK only). ErrKind is one of
+	// the kind* constants so clients recover typed errors.
+	ErrKind string
+	Err     string
+}
+
+// Error kinds of the wire protocol. Stable strings, not iota: both ends
+// may be rebuilt independently.
+const (
+	kindOverloaded   = "overloaded"
+	kindDraining     = "draining"
+	kindTimeout      = "timeout"
+	kindTransport    = "transport"
+	kindWearable     = "wearable"
+	kindNonFinite    = "nonfinite_score"
+	kindBadRecording = "bad_recording"
+	kindInternal     = "internal"
+)
+
+// errKind classifies a session error for the wire.
+func errKind(err error) string {
+	var wearErr *syncnet.WearableError
+	var issue *core.RecordingIssue
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return kindOverloaded
+	case errors.Is(err, ErrDraining):
+		return kindDraining
+	case errors.Is(err, ErrSessionTimeout):
+		return kindTimeout
+	case errors.Is(err, syncnet.ErrRetriesExhausted):
+		return kindTransport
+	case errors.As(err, &wearErr):
+		return kindWearable
+	case errors.Is(err, detector.ErrNonFiniteScore):
+		return kindNonFinite
+	case errors.As(err, &issue):
+		return kindBadRecording
+	default:
+		return kindInternal
+	}
+}
+
+// RemoteError is a server-side session failure whose kind has no local
+// typed equivalent (or an unrecognized kind from a newer server).
+type RemoteError struct {
+	// Kind is the wire error kind.
+	Kind string
+	// Msg is the server's error text.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "serve: remote " + e.Kind + ": " + e.Msg }
+
+// remoteError maps a wire failure back to the matching typed error, so
+// errors.Is/As work across the wire exactly as they do in-process.
+func remoteError(kind, msg string) error {
+	switch kind {
+	case kindOverloaded:
+		return fmt.Errorf("%w (remote: %s)", ErrOverloaded, msg)
+	case kindDraining:
+		return fmt.Errorf("%w (remote: %s)", ErrDraining, msg)
+	case kindTimeout:
+		return fmt.Errorf("%w (remote: %s)", ErrSessionTimeout, msg)
+	case kindTransport:
+		return fmt.Errorf("%w (remote: %s)", syncnet.ErrRetriesExhausted, msg)
+	case kindNonFinite:
+		return fmt.Errorf("%w (remote: %s)", detector.ErrNonFiniteScore, msg)
+	case kindWearable:
+		return &syncnet.WearableError{Msg: msg}
+	default:
+		return &RemoteError{Kind: kind, Msg: msg}
+	}
+}
+
+// Listen mounts the session front-end on addr and returns the resolved
+// listen address. One listener per server; sessions arriving over it run
+// through the same admission queue as Submit.
+func (s *Server) Listen(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateRunning {
+		return "", ErrDraining
+	}
+	if s.listener != nil {
+		return "", fmt.Errorf("serve: already listening on %s", s.listener.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen: %w", err)
+	}
+	s.listener = ln
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the front-end listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.state != stateRunning {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn serves one front-end connection: decode a session, run it
+// through Submit, encode the verdict, repeat until the peer (or the
+// drain's half-close) ends the stream.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+		s.connWG.Done()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		verdict, err := s.Submit(context.Background(), Request{
+			WearableAddr: req.WearableAddr,
+			VARecording:  req.VASamples,
+			RNGSeed:      req.RNGSeed,
+		})
+		resp := wireResponse{ID: req.ID}
+		if err != nil {
+			resp.ErrKind = errKind(err)
+			resp.Err = err.Error()
+		} else {
+			resp.OK = true
+			resp.Score = verdict.Score
+			resp.Attack = verdict.Attack
+			resp.SyncOffset = verdict.SyncOffset
+			resp.Spans = len(verdict.Spans)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a VA-side client of the session front-end. One Client issues
+// one session at a time (Inspect holds an internal lock); open several
+// clients for concurrent sessions.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// DialServer connects to a session front-end.
+func DialServer(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Inspect submits one session and blocks until the verdict arrives. The
+// returned verdict carries no spans (only their count crosses the wire);
+// failures come back as the same typed errors Submit returns.
+func (c *Client) Inspect(req Request) (*core.Verdict, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	id := c.next
+	if err := c.enc.Encode(&wireRequest{
+		ID:           id,
+		WearableAddr: req.WearableAddr,
+		VASamples:    req.VARecording,
+		RNGSeed:      req.RNGSeed,
+	}); err != nil {
+		return nil, fmt.Errorf("serve: send session: %w", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("serve: read verdict: %w", err)
+	}
+	if resp.ID != id {
+		return nil, fmt.Errorf("serve: session mismatch: got %d, want %d", resp.ID, id)
+	}
+	if !resp.OK {
+		return nil, remoteError(resp.ErrKind, resp.Err)
+	}
+	return &core.Verdict{Score: resp.Score, Attack: resp.Attack, SyncOffset: resp.SyncOffset}, nil
+}

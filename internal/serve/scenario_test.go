@@ -1,0 +1,169 @@
+package serve_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vibguard/internal/acoustics"
+	"vibguard/internal/core"
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+	"vibguard/internal/phoneme"
+	"vibguard/internal/segment"
+	"vibguard/internal/selection"
+	"vibguard/internal/serve"
+	"vibguard/internal/syncnet"
+)
+
+// The serve suite drives the real end-to-end stack: wearable agents over
+// TCP, the hardened syncnet client inside the server's workers, and the
+// full Inspect pipeline — under heavy concurrency and the race detector.
+// All randomness is seeded (per-session via Request.RNGSeed), so every
+// test is deterministic under arbitrary scheduling.
+
+const serveSeed = 2027
+
+// serveScenario holds one synthesized command heard through both acoustic
+// paths, built once and shared read-only by every test.
+type serveScenario struct {
+	spans      []segment.Span
+	legitVA    []float64
+	legitWear  []float64
+	attackVA   []float64
+	attackWear []float64
+}
+
+var (
+	scnOnce sync.Once
+	scn     *serveScenario
+	scnErr  error
+)
+
+func scenarioFor(t *testing.T) *serveScenario {
+	t.Helper()
+	scnOnce.Do(func() { scn, scnErr = buildServeScenario() })
+	if scnErr != nil {
+		t.Fatal(scnErr)
+	}
+	return scn
+}
+
+func buildServeScenario() (*serveScenario, error) {
+	rng := rand.New(rand.NewSource(serveSeed))
+	synth, err := phoneme.NewSynthesizer(phoneme.NewStudioVoicePool(1, serveSeed)[0])
+	if err != nil {
+		return nil, err
+	}
+	utt, err := synth.Synthesize(phoneme.Commands()[2])
+	if err != nil {
+		return nil, err
+	}
+	spans := segment.OracleSpans(utt, selection.CanonicalSelected())
+	room, err := acoustics.RoomByName("A")
+	if err != nil {
+		return nil, err
+	}
+	transmit := func(spl, dist float64, barrier bool) ([]float64, error) {
+		return room.Transmit(utt.Samples, acoustics.PathConfig{
+			SourceSPL: spl, DistanceM: dist, ThroughBarrier: barrier, SampleRate: 16000,
+		}, rng)
+	}
+	legitVA, err := transmit(72, 1.5, false)
+	if err != nil {
+		return nil, err
+	}
+	legitNear, err := transmit(72, 0.3, false)
+	if err != nil {
+		return nil, err
+	}
+	attackVA, err := transmit(80, 2.1, true)
+	if err != nil {
+		return nil, err
+	}
+	attackNear, err := transmit(80, 2.4, true)
+	if err != nil {
+		return nil, err
+	}
+	return &serveScenario{
+		spans:      spans,
+		legitVA:    legitVA,
+		legitWear:  syncnet.SimulateNetworkDelay(legitNear, 0.1, 16000, rng),
+		attackVA:   attackVA,
+		attackWear: syncnet.SimulateNetworkDelay(attackNear, 0.08, 16000, rng),
+	}, nil
+}
+
+// defenseFactory builds one worker's private Defense: a cloned wearable
+// and a static segmenter holding the scenario's oracle spans (cheap, no
+// BRNN training — the per-worker pattern of eval.scorerSpec.newDefense).
+func (sc *serveScenario) defenseFactory() func() (*core.Defense, error) {
+	return func() (*core.Defense, error) {
+		clone := *device.NewFossilGen5()
+		return core.NewDefense(core.DefaultConfig(&clone, &detector.StaticSegmenter{Spans: sc.spans}))
+	}
+}
+
+// contextWithTimeout shortens the ubiquitous deadline-context dance.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// fastRetries keeps transport retries snappy for the fault tests.
+func fastRetries() syncnet.RetryPolicy {
+	return syncnet.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 2}
+}
+
+// newAgent starts a wearable agent serving a fixed recording.
+func newAgent(t *testing.T, rec []float64) *syncnet.WearableAgent {
+	t.Helper()
+	agent, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) { return rec, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	return agent
+}
+
+// newSlowAgent starts a wearable agent whose RecordFunc sleeps before
+// serving, to hold sessions in flight; calls counts record invocations.
+func newSlowAgent(t *testing.T, rec []float64, delay time.Duration, calls *atomic.Int64) string {
+	t.Helper()
+	agent, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		time.Sleep(delay)
+		return rec, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	return agent.Addr()
+}
+
+// newServer builds and starts a server for the scenario, registering a
+// cleanup drain so tests cannot leak worker goroutines.
+func newServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	if cfg.NewDefense == nil {
+		cfg.NewDefense = scenarioFor(t).defenseFactory()
+	}
+	if cfg.RetryPolicy.MaxAttempts == 0 {
+		cfg.RetryPolicy = fastRetries()
+	}
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := contextWithTimeout(30 * time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv
+}

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vibguard/internal/core"
+	"vibguard/internal/syncnet"
+)
+
+// Server lifecycle states.
+const (
+	stateRunning = iota
+	stateDraining
+	stateStopped
+)
+
+// session is one admitted detection session moving through the queue.
+type session struct {
+	id       uint64
+	req      Request
+	ctx      context.Context
+	enqueued time.Time
+	// done receives the single terminal result. It is buffered so a
+	// worker finishing an abandoned session never blocks.
+	done chan sessionResult
+}
+
+type sessionResult struct {
+	verdict *core.Verdict
+	err     error
+}
+
+// Server is the session-oriented detection service: a bounded admission
+// queue in front of a fixed worker pool, each worker owning a private
+// core.Defense and a per-address cache of hardened wearable clients. See
+// the package comment for the architecture.
+type Server struct {
+	cfg   Config
+	queue chan *session
+
+	nextID atomic.Uint64
+
+	mu       sync.RWMutex
+	state    int
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+
+	workerWG sync.WaitGroup
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+	// drained closes when a Shutdown completes, so concurrent Shutdown
+	// calls converge.
+	drained chan struct{}
+}
+
+// NewServer builds and starts a server: the worker pool is live and
+// Submit accepts sessions immediately.
+func NewServer(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *session, cfg.QueueDepth),
+		conns:   make(map[net.Conn]struct{}),
+		drained: make(chan struct{}),
+	}
+	gaugeWorkers.Set(float64(cfg.Workers))
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// QueueDepth returns the admission-queue capacity.
+func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
+
+// Submit admits one session and blocks until its verdict (or typed
+// failure) is ready. Admission is non-blocking: a full queue returns
+// ErrOverloaded immediately and a draining server returns ErrDraining.
+// The session inherits ctx, bounded by Config.SessionTimeout; if the
+// deadline expires first, Submit returns ErrSessionTimeout and the worker
+// abandons the session.
+func (s *Server) Submit(ctx context.Context, req Request) (*core.Verdict, error) {
+	if req.WearableAddr == "" {
+		return nil, fmt.Errorf("serve: session needs a wearable address")
+	}
+	if len(req.VARecording) == 0 {
+		return nil, fmt.Errorf("serve: session needs a VA recording")
+	}
+	sctx, cancel := context.WithTimeout(ctx, s.cfg.SessionTimeout)
+	defer cancel()
+	sess := &session{
+		id:       s.nextID.Add(1),
+		req:      req,
+		ctx:      sctx,
+		enqueued: time.Now(),
+		done:     make(chan sessionResult, 1),
+	}
+
+	// Admission. The state check and the enqueue share the read lock so a
+	// session can never slip into the queue after Shutdown's drain pass:
+	// Shutdown flips the state under the write lock before draining.
+	s.mu.RLock()
+	if s.state != stateRunning {
+		s.mu.RUnlock()
+		metSessionsDrainRej.Inc()
+		return nil, ErrDraining
+	}
+	// The gauge moves before the enqueue so a worker's decrement can
+	// never be observed ahead of the matching increment.
+	gaugeQueueDepth.Add(1)
+	select {
+	case s.queue <- sess:
+		s.mu.RUnlock()
+		metSessionsAccepted.Inc()
+	default:
+		s.mu.RUnlock()
+		gaugeQueueDepth.Add(-1)
+		metSessionsShed.Inc()
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case res := <-sess.done:
+		return res.verdict, res.err
+	case <-sctx.Done():
+		// The result may have raced the deadline; prefer it.
+		select {
+		case res := <-sess.done:
+			return res.verdict, res.err
+		default:
+		}
+		if errors.Is(sctx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w (limit %v)", ErrSessionTimeout, s.cfg.SessionTimeout)
+		}
+		return nil, sctx.Err()
+	}
+}
+
+// worker owns one private Defense and a per-address client cache and
+// drains the admission queue until it closes.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	defense, defErr := s.cfg.NewDefense()
+	clients := make(map[string]*syncnet.ReliableClient)
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+	for sess := range s.queue {
+		gaugeQueueDepth.Add(-1)
+		histQueueWait.Observe(time.Since(sess.enqueued).Seconds())
+		if defErr != nil {
+			// The factory was probed at construction, so this is a
+			// transient resource failure; fail the session with it.
+			s.finish(sess, nil, fmt.Errorf("serve: defense factory: %w", defErr))
+			continue
+		}
+		s.process(defense, clients, sess)
+	}
+}
+
+// process runs one session end to end: deadline check, wearable fetch
+// through the cached hardened client, then the full Inspect pipeline.
+func (s *Server) process(defense *core.Defense, clients map[string]*syncnet.ReliableClient, sess *session) {
+	if err := sess.ctx.Err(); err != nil {
+		s.finish(sess, nil, sessionCtxError(err))
+		return
+	}
+	client, ok := clients[sess.req.WearableAddr]
+	if !ok {
+		var err error
+		client, err = syncnet.NewReliableClient(sess.req.WearableAddr,
+			syncnet.WithDialFunc(s.cfg.Dial),
+			syncnet.WithRetryPolicy(s.cfg.RetryPolicy),
+			syncnet.WithTimeouts(s.cfg.DialTimeout, s.cfg.RequestTimeout))
+		if err != nil {
+			s.finish(sess, nil, err)
+			return
+		}
+		clients[sess.req.WearableAddr] = client
+	}
+	wear, err := client.RequestRecordingContext(sess.ctx)
+	if err != nil {
+		if ctxErr := sess.ctx.Err(); ctxErr != nil {
+			err = fmt.Errorf("%w (fetch: %v)", sessionCtxError(ctxErr), err)
+		}
+		s.finish(sess, nil, err)
+		return
+	}
+	seed := sess.req.RNGSeed
+	if seed == 0 {
+		seed = SessionSeed(s.cfg.Seed, sess.id)
+	}
+	verdict, err := defense.Inspect(sess.req.VARecording, wear, rand.New(rand.NewSource(seed)))
+	s.finish(sess, verdict, err)
+}
+
+// sessionCtxError maps a session-context error to the typed server error.
+func sessionCtxError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrSessionTimeout
+	}
+	return err
+}
+
+// finish delivers the terminal result and records the session outcome.
+func (s *Server) finish(sess *session, v *core.Verdict, err error) {
+	histSessionLatency.Observe(time.Since(sess.enqueued).Seconds())
+	switch {
+	case err == nil:
+		metSessionsDone.Inc()
+	case errors.Is(err, ErrSessionTimeout) || errors.Is(err, context.Canceled):
+		metSessionsExpired.Inc()
+	default:
+		metSessionsFailed.Inc()
+	}
+	sess.done <- sessionResult{verdict: v, err: err}
+}
+
+// Shutdown drains the server: it closes the front-end listener (no new
+// connections), rejects every queued-but-unstarted session with
+// ErrDraining, waits for in-flight sessions to finish (bounded by ctx),
+// and finally half-closes lingering front-end connections so their last
+// responses are still delivered. Submit returns ErrDraining from the
+// moment Shutdown begins. Concurrent and repeated calls converge on the
+// first drain; they return ctx.Err() if it outlives their context.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.state != stateRunning {
+		s.mu.Unlock()
+		select {
+		case <-s.drained:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.state = stateDraining
+	ln := s.listener
+	s.mu.Unlock()
+
+	// 1. Close the listener first: by the time Shutdown returns (and
+	// throughout the drain), no new connection can be accepted.
+	if ln != nil {
+		_ = ln.Close()
+		s.acceptWG.Wait()
+	}
+
+	// 2. Reject queued-but-unstarted sessions. No Submit can enqueue
+	// after the state flip, so this empties the queue exactly once; a
+	// worker racing for the same session simply makes it in-flight
+	// instead, which the drain then waits for.
+	for {
+		sess, ok := popNonBlocking(s.queue)
+		if !ok {
+			break
+		}
+		gaugeQueueDepth.Add(-1)
+		metSessionsDrainRej.Inc()
+		sess.done <- sessionResult{err: ErrDraining}
+	}
+	close(s.queue)
+
+	// 3. Wait for in-flight sessions (bounded by ctx).
+	workersDone := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// 4. Every session now has its result; half-close lingering
+	// connections so handlers can still flush a final response, then see
+	// EOF and exit.
+	s.mu.Lock()
+	for conn := range s.conns {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseRead()
+		} else {
+			_ = conn.Close()
+		}
+	}
+	s.mu.Unlock()
+	connsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(connsDone)
+	}()
+	select {
+	case <-connsDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	s.mu.Lock()
+	s.state = stateStopped
+	s.mu.Unlock()
+	close(s.drained)
+	return nil
+}
+
+// popNonBlocking takes one queued session if any is ready.
+func popNonBlocking(q chan *session) (*session, bool) {
+	select {
+	case sess, ok := <-q:
+		return sess, ok
+	default:
+		return nil, false
+	}
+}

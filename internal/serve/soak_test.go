@@ -1,0 +1,237 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vibguard/internal/detector"
+	"vibguard/internal/obs"
+	"vibguard/internal/serve"
+)
+
+// soakSessions is the concurrent end-to-end soak size: every session runs
+// the full stack (TCP front-end -> admission queue -> worker -> hardened
+// syncnet fetch over TCP -> align -> Inspect) simultaneously with the
+// others, under -race in CI.
+const soakSessions = 64
+
+// soakFleet is one simulated wearable fleet: half the agents heard a
+// legitimate command, half heard a thru-barrier replay.
+type soakFleet struct {
+	addrs        []string
+	expectAttack []bool
+	va           [][]float64
+}
+
+func newSoakFleet(t *testing.T, wearables int) *soakFleet {
+	t.Helper()
+	sc := scenarioFor(t)
+	f := &soakFleet{}
+	for j := 0; j < wearables; j++ {
+		attack := j%2 == 1
+		wear, va := sc.legitWear, sc.legitVA
+		if attack {
+			wear, va = sc.attackWear, sc.attackVA
+		}
+		agent := newAgent(t, wear)
+		f.addrs = append(f.addrs, agent.Addr())
+		f.expectAttack = append(f.expectAttack, attack)
+		f.va = append(f.va, va)
+	}
+	return f
+}
+
+// session returns the request and expected verdict of soak session i.
+func (f *soakFleet) session(i int) (serve.Request, bool) {
+	j := i % len(f.addrs)
+	return serve.Request{
+		WearableAddr: f.addrs[j],
+		VARecording:  f.va[j],
+		RNGSeed:      serve.SessionSeed(serveSeed, uint64(i)),
+	}, f.expectAttack[j]
+}
+
+// TestSoakConcurrentSessions is the race-gated soak: 64 simultaneous
+// sessions through the TCP front-end against an 8-wearable fleet. Every
+// session must come back (none lost), every verdict must match the
+// wearable's scenario, and with the queue sized for the burst nothing may
+// be shed.
+func TestSoakConcurrentSessions(t *testing.T) {
+	before := obs.Default().Snapshot()
+	fleet := newSoakFleet(t, 8)
+	srv := newServer(t, serve.Config{
+		Workers:        4,
+		QueueDepth:     soakSessions,
+		SessionTimeout: 2 * time.Minute,
+		Seed:           serveSeed,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		attack bool
+		score  float64
+		err    error
+	}
+	results := make([]outcome, soakSessions)
+	var wg sync.WaitGroup
+	for i := 0; i < soakSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := serve.DialServer(addr, 5*time.Second)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			defer func() { _ = client.Close() }()
+			req, _ := fleet.session(i)
+			v, err := client.Inspect(req)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			results[i] = outcome{attack: v.Attack, score: v.Score}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		_, expectAttack := fleet.session(i)
+		if res.err != nil {
+			t.Errorf("session %d lost: %v", i, res.err)
+			continue
+		}
+		if math.IsNaN(res.score) || math.IsInf(res.score, 0) {
+			t.Errorf("session %d: non-finite score %v", i, res.score)
+		}
+		if res.attack != expectAttack {
+			t.Errorf("session %d: attack=%v (score %v), want %v", i, res.attack, res.score, expectAttack)
+		}
+	}
+
+	after := obs.Default().Snapshot()
+	if got := after.Counters["serve.sessions.accepted"] - before.Counters["serve.sessions.accepted"]; got < soakSessions {
+		t.Errorf("accepted counter rose by %d, want >= %d", got, soakSessions)
+	}
+	if got := after.Counters["serve.sessions.completed"] - before.Counters["serve.sessions.completed"]; got < soakSessions {
+		t.Errorf("completed counter rose by %d, want >= %d", got, soakSessions)
+	}
+	if got := after.Counters["serve.sessions.shed"] - before.Counters["serve.sessions.shed"]; got != 0 {
+		t.Errorf("queue sized for the burst, but %d sessions shed", got)
+	}
+	lat := after.Histograms["serve.session.latency_seconds"]
+	if lat.Count == before.Histograms["serve.session.latency_seconds"].Count {
+		t.Error("session latency histogram did not advance")
+	}
+}
+
+// TestSoakOverloadSheds drives a burst far past a tiny queue behind a
+// deliberately slow wearable: the excess must be shed immediately with
+// ErrOverloaded (no unbounded goroutines, no silent queuing), while every
+// admitted session still completes with the right verdict.
+func TestSoakOverloadSheds(t *testing.T) {
+	sc := scenarioFor(t)
+	var recordCalls atomic.Int64
+	slowAgent := newSlowAgent(t, sc.legitWear, 50*time.Millisecond, &recordCalls)
+	srv := newServer(t, serve.Config{
+		Workers:        1,
+		QueueDepth:     2,
+		SessionTimeout: time.Minute,
+		Seed:           serveSeed,
+	})
+
+	const burst = 16
+	var shed, completed, wrong atomic.Int64
+	errs := make([]error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := srv.Submit(context.Background(), serve.Request{
+				WearableAddr: slowAgent,
+				VARecording:  sc.legitVA,
+				RNGSeed:      serve.SessionSeed(serveSeed, uint64(1000+i)),
+			})
+			errs[i] = err
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				shed.Add(1)
+			case err == nil:
+				completed.Add(1)
+				if v.Attack {
+					wrong.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, serve.ErrOverloaded) {
+			t.Errorf("session %d: unexpected error %v", i, err)
+		}
+	}
+	if shed.Load() == 0 {
+		t.Error("no session shed: queue depth 2 with a 16-session burst must overflow")
+	}
+	if completed.Load() == 0 {
+		t.Error("no session completed under overload")
+	}
+	if wrong.Load() != 0 {
+		t.Errorf("%d legitimate sessions flagged as attacks under overload", wrong.Load())
+	}
+	if got := shed.Load() + completed.Load(); got != burst {
+		t.Errorf("sessions lost: shed %d + completed %d != %d", shed.Load(), completed.Load(), burst)
+	}
+}
+
+// TestNonFiniteScorePropagatesThroughLiveSession pins the
+// ErrNonFiniteScore contract end to end: recordings whose power overflows
+// float64 survive validation (every sample is finite) but blow up the
+// spectral feature pipeline, and the resulting typed error must cross the
+// session server — and its wire protocol — intact.
+func TestNonFiniteScorePropagatesThroughLiveSession(t *testing.T) {
+	sc := scenarioFor(t)
+	huge := func(x []float64) []float64 {
+		out := make([]float64, len(x))
+		for i, v := range x {
+			out[i] = v * 1e160 // finite, but power ~ v^2 overflows to +Inf
+		}
+		return out
+	}
+	agent := newAgent(t, huge(sc.legitWear))
+	srv := newServer(t, serve.Config{Workers: 1, SessionTimeout: time.Minute, Seed: serveSeed})
+	req := serve.Request{
+		WearableAddr: agent.Addr(),
+		VARecording:  huge(sc.legitVA),
+		RNGSeed:      serve.SessionSeed(serveSeed, 7777),
+	}
+
+	_, err := srv.Submit(context.Background(), req)
+	if !errors.Is(err, detector.ErrNonFiniteScore) {
+		t.Fatalf("Submit err = %v, want detector.ErrNonFiniteScore", err)
+	}
+
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := serve.DialServer(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	_, err = client.Inspect(req)
+	if !errors.Is(err, detector.ErrNonFiniteScore) {
+		t.Fatalf("wire err = %v, want detector.ErrNonFiniteScore", err)
+	}
+}

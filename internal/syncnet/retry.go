@@ -1,6 +1,7 @@
 package syncnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -229,6 +230,18 @@ func (rc *ReliableClient) Close() error {
 // attempt failed, or the WearableError as-is when the wearable itself
 // reported a failure.
 func (rc *ReliableClient) RequestRecording() ([]float64, error) {
+	return rc.RequestRecordingContext(context.Background())
+}
+
+// RequestRecordingContext is RequestRecording bounded by a context: the
+// session-oriented server gives every session a deadline, and a fetch must
+// stop burning transport attempts (and abort a backoff sleep immediately)
+// once that deadline is gone. Cancellation is checked before every attempt
+// and during every backoff sleep, and the per-attempt dial/request
+// deadlines are clipped so no single attempt outlives the context. On
+// cancellation the context's error is returned (wrapping the last
+// transport error, if any, for diagnosis).
+func (rc *ReliableClient) RequestRecordingContext(ctx context.Context) ([]float64, error) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	var lastErr error
@@ -237,13 +250,18 @@ func (rc *ReliableClient) RequestRecording() ([]float64, error) {
 			backoff := rc.policy.Backoff(attempt - 1)
 			metClientBackoffs.Inc()
 			histClientBackoff.Observe(backoff.Seconds())
-			time.Sleep(backoff)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, ctxError(err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, ctxError(err, lastErr)
 		}
 		rc.attempts++
 		metClientAttempts.Inc()
 		attemptStart := time.Now()
 		if rc.client == nil {
-			client, err := dialWearableVia(rc.dial, rc.addr, rc.dialTimeout)
+			client, err := dialWearableVia(rc.dial, rc.addr, clipTimeout(ctx, rc.dialTimeout))
 			if err != nil {
 				lastErr = err
 				stageClientAttempt.ObserveSince(attemptStart)
@@ -253,7 +271,7 @@ func (rc *ReliableClient) RequestRecording() ([]float64, error) {
 			metClientRedials.Inc()
 			rc.client = client
 		}
-		samples, err := rc.client.RequestRecording(rc.requestTimeout)
+		samples, err := rc.client.RequestRecording(clipTimeout(ctx, rc.requestTimeout))
 		stageClientAttempt.ObserveSince(attemptStart)
 		if err == nil {
 			return samples, nil
@@ -269,4 +287,47 @@ func (rc *ReliableClient) RequestRecording() ([]float64, error) {
 	}
 	metClientExhausted.Inc()
 	return nil, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, rc.policy.MaxAttempts, lastErr)
+}
+
+// sleepCtx sleeps for d or until the context is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// ctxError wraps a context cancellation with the last transport error seen
+// before it, so a timed-out session still reports what the link was doing.
+func ctxError(ctxErr, lastErr error) error {
+	if lastErr == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("%w (last transport error: %v)", ctxErr, lastErr)
+}
+
+// clipTimeout bounds a per-attempt timeout by the context deadline, so an
+// attempt started just before the deadline cannot run long past it.
+func clipTimeout(ctx context.Context, timeout time.Duration) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return timeout
+	}
+	remaining := time.Until(dl)
+	if remaining <= 0 {
+		// The deadline just passed; keep the attempt bounded (a
+		// non-positive value would disable the connection deadline).
+		return time.Nanosecond
+	}
+	if remaining < timeout {
+		return remaining
+	}
+	return timeout
 }

@@ -1,6 +1,7 @@
 package syncnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -234,5 +235,96 @@ func TestAgentCleanDisconnectNotCounted(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	if n := agent.ConnErrors(); n != 0 {
 		t.Errorf("clean disconnect counted as %d errors (last: %v)", n, agent.LastConnError())
+	}
+}
+
+func TestRequestRecordingContextCancelDuringBackoff(t *testing.T) {
+	// Every dial fails, so the client sits in backoff between attempts; a
+	// cancellation mid-sleep must surface promptly as the context error.
+	failDial := func(addr string, timeout time.Duration) (net.Conn, error) {
+		return nil, fmt.Errorf("dial refused")
+	}
+	rc, err := NewReliableClient("127.0.0.1:1",
+		WithDialFunc(failDial),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 100, BaseDelay: time.Second, MaxDelay: time.Second, Multiplier: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = rc.RequestRecordingContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("cancellation took %v, backoff sleep not interrupted", elapsed)
+	}
+	// The cancellation wrapper still reports what the transport was doing.
+	if err.Error() == context.Canceled.Error() {
+		t.Errorf("err %q lost the last transport error", err)
+	}
+}
+
+func TestRequestRecordingContextDeadlineBoundsAttempts(t *testing.T) {
+	var dials int
+	failDial := func(addr string, timeout time.Duration) (net.Conn, error) {
+		dials++
+		return nil, fmt.Errorf("dial refused")
+	}
+	rc, err := NewReliableClient("127.0.0.1:1",
+		WithDialFunc(failDial),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 1000, BaseDelay: 5 * time.Millisecond, MaxDelay: 5 * time.Millisecond, Multiplier: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = rc.RequestRecordingContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if dials >= 1000 {
+		t.Errorf("deadline did not bound attempts: %d dials", dials)
+	}
+}
+
+func TestRequestRecordingContextBackgroundMatchesPlain(t *testing.T) {
+	want := []float64{4, 5, 6}
+	agent, err := NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) { return want, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+	rc, err := NewReliableClient(agent.Addr(), WithRetryPolicy(fastPolicy(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rc.Close() }()
+	got, err := rc.RequestRecordingContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(got), len(want))
+	}
+}
+
+func TestClipTimeout(t *testing.T) {
+	if got := clipTimeout(context.Background(), time.Second); got != time.Second {
+		t.Errorf("no deadline: %v, want 1s", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if got := clipTimeout(ctx, time.Hour); got > 10*time.Millisecond || got <= 0 {
+		t.Errorf("near deadline: %v, want (0, 10ms]", got)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if got := clipTimeout(expired, time.Hour); got <= 0 {
+		t.Errorf("past deadline: %v, must stay positive so the conn deadline fires", got)
 	}
 }

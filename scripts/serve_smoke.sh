@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — session-server smoke test (make serve-smoke).
+#
+# Boots vibguardd in -serve mode with an ephemeral debug listener, waits
+# for the concurrent fleet pass to finish, asserts every session completed
+# with the expected verdict, scrapes /metrics for the serve counters, then
+# stops the daemon and asserts it drains cleanly.
+set -euo pipefail
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$tmp/vibguardd" ./cmd/vibguardd
+"$tmp/vibguardd" -serve -seed 1 -sessions 32 -wearables 8 \
+    -debug-addr 127.0.0.1:0 -log-format text >"$tmp/log" 2>&1 &
+pid=$!
+
+die() {
+    echo "serve-smoke: $1" >&2
+    echo "--- vibguardd log ---" >&2
+    cat "$tmp/log" >&2
+    exit 1
+}
+
+# The daemon logs the resolved debug address before training starts.
+addr=""
+for _ in $(seq 1 120); do
+    addr=$(sed -n 's/.*debug endpoints serving.*addr=\([0-9.:]*\).*/\1/p' "$tmp/log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || die "daemon exited before serving"
+    sleep 0.5
+done
+[ -n "$addr" ] || die "no debug address logged"
+
+curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"' || die "/healthz not ok"
+
+# Wait for the whole concurrent burst to finish.
+for _ in $(seq 1 360); do
+    grep -q "fleet pass complete" "$tmp/log" && break
+    kill -0 "$pid" 2>/dev/null || die "daemon exited before finishing the fleet pass"
+    sleep 0.5
+done
+grep -q "fleet pass complete" "$tmp/log" || die "fleet pass did not finish"
+
+# Every session must come back with the right verdict: no failures, no
+# mismatches, nothing lost (the default queue admits the whole burst).
+pass=$(grep "fleet pass complete" "$tmp/log" | head -1)
+echo "$pass" | grep -q "failed=0" || die "fleet pass had failed sessions: $pass"
+echo "$pass" | grep -q "mismatches=0" || die "fleet pass had verdict mismatches: $pass"
+echo "$pass" | grep -q "completed=32" || die "fleet pass lost sessions: $pass"
+
+metrics=$(curl -fsS "http://$addr/metrics") || die "/metrics fetch failed"
+for name in serve.sessions.accepted serve.sessions.completed serve.queue.depth \
+            serve.session.latency_seconds syncnet.client.attempts; do
+    echo "$metrics" | grep -q "\"$name\"" || die "/metrics missing $name"
+done
+echo "$metrics" | grep -q '"serve.sessions.accepted": 0' && die "accepted counter is zero"
+echo "$metrics" | grep -q '"serve.sessions.completed": 0' && die "completed counter is zero"
+
+# Stop the daemon: the server must drain (in-flight done, listener closed)
+# before the process exits.
+kill -TERM "$pid"
+for _ in $(seq 1 120); do
+    grep -q "session server drained" "$tmp/log" && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.5
+done
+grep -q "session server drained" "$tmp/log" || die "server did not log a clean drain"
+wait "$pid" || die "daemon exited nonzero"
+pid=""
+
+echo "serve-smoke: ok (debug addr $addr)"
