@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring bench-dsp benchgen obs-smoke serve-smoke serve-race
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,13 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
-# Short fuzz runs of the WAV decoder and the Eq. (5) alignment; the
-# checked-in corpora under testdata/fuzz/ replay in plain `make test` too.
+# Short fuzz runs of the WAV decoder, the Eq. (5) alignment, and the
+# detector deserializer; the checked-in corpora under testdata/fuzz/
+# replay in plain `make test` too.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/wavio/
 	$(GO) test -fuzz=FuzzAlignRecordings -fuzztime=30s ./internal/syncnet/
+	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/segment/
 
 # Focused race run for the parallel scoring engine only.
 race-eval:
@@ -46,6 +48,19 @@ bench-scoring:
 # BENCH_dsp.json so future PRs have a perf trajectory.
 bench-dsp:
 	$(GO) run ./cmd/benchdsp -out BENCH_dsp.json
+
+# BRNN inference micro-benchmark baseline: the batched session kernels
+# against the per-frame reference path on the paper architecture, written
+# to the checked-in BENCH_brnn.json (the bench-dsp arrangement).
+bench-brnn:
+	$(GO) run ./cmd/benchbrnn -out BENCH_brnn.json
+
+# Race gate for the batched inference kernels and the pooled detector
+# scratch: the bit-equivalence suites and the concurrent-session tests run
+# under the race detector.
+race-brnn:
+	$(GO) vet ./internal/brnn/ ./internal/segment/
+	$(GO) test -race ./internal/brnn/ ./internal/segment/
 
 benchgen:
 	$(GO) run ./cmd/benchgen -quick

@@ -1,0 +1,68 @@
+// Command benchbrnn runs the shared BRNN inference benchmark kernels (see
+// internal/brnn/brnnbench) through testing.Benchmark and writes the
+// results as JSON. `make bench-brnn` uses it to regenerate the checked-in
+// BENCH_brnn.json baseline, giving future PRs a perf trajectory for the
+// batched inference kernels without parsing `go test -bench` text output —
+// the same arrangement as cmd/benchdsp for the FFT engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"vibguard/internal/brnn/brnnbench"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	for _, c := range brnnbench.Cases() {
+		name := c.Group + "/" + c.Name
+		r := testing.Benchmark(c.Fn)
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-36s %14.0f ns/op %8d B/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbrnn:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbrnn:", err)
+		os.Exit(1)
+	}
+}

@@ -123,8 +123,9 @@ func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int
 		}
 	}
 
-	// Train the effective-phoneme BRNN once; the trained model is
-	// read-only at inference, so every worker's Defense shares it.
+	// Train the effective-phoneme BRNN once; the trained weights are
+	// read-only at inference and the detector pools its mutable inference
+	// scratch per caller, so every worker's Defense shares one detector.
 	logger.Info("training phoneme detector")
 	det, err := vibguard.TrainPhonemeDetector(vibguard.DetectorTraining{Seed: rng.Int63()})
 	if err != nil {

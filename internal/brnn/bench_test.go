@@ -1,0 +1,41 @@
+package brnn_test
+
+import (
+	"testing"
+
+	"vibguard/internal/brnn/brnnbench"
+)
+
+// The benchmark bodies live in brnnbench so that cmd/benchbrnn (which
+// writes the BENCH_brnn.json baseline) measures exactly the same kernels
+// as `go test -bench` / `make bench-brnn` — the dspbench arrangement.
+
+func runGroup(b *testing.B, group string) {
+	ran := false
+	for _, c := range brnnbench.Cases() {
+		if c.Group == group {
+			ran = true
+			b.Run(c.Name, c.Fn)
+		}
+	}
+	if !ran {
+		b.Fatalf("no benchmark cases in group %q", group)
+	}
+}
+
+// BenchmarkForward measures single-sequence inference on the paper config
+// (64 units per direction, 14 MFCCs, ~1 s of frames): the batched
+// Inference session (zero steady-state allocations) next to the per-frame
+// reference path.
+func BenchmarkForward(b *testing.B) { runGroup(b, "Forward") }
+
+// BenchmarkForwardBatch measures the multi-sequence batch entry point
+// against a per-sequence loop over the reference path.
+func BenchmarkForwardBatch(b *testing.B) { runGroup(b, "ForwardBatch") }
+
+// BenchmarkPredict measures argmax inference into a reused buffer.
+func BenchmarkPredict(b *testing.B) { runGroup(b, "Predict") }
+
+// BenchmarkMulMat measures the blocked matrix-matrix kernel against the
+// equivalent per-row MulVec loop on the Wx projection shape.
+func BenchmarkMulMat(b *testing.B) { runGroup(b, "MulMat") }

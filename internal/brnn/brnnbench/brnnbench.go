@@ -1,0 +1,166 @@
+// Package brnnbench defines the BRNN inference benchmark kernels: the
+// per-frame reference path (Model.Forward, naive mat-vecs and per-timestep
+// allocations) next to the batched Inference path on identical workloads.
+// The kernels are shared by the `go test -bench` wrappers in internal/brnn
+// and by cmd/benchbrnn, which emits the checked-in BENCH_brnn.json
+// baseline, so the two can never measure different workloads — the same
+// arrangement dspbench uses for the FFT engine.
+package brnnbench
+
+import (
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/brnn"
+)
+
+// Case is one benchmark kernel: Group matches a Benchmark<Group> wrapper
+// in internal/brnn and Name is the sub-benchmark label.
+type Case struct {
+	Group string
+	Name  string
+	Fn    func(b *testing.B)
+}
+
+// paperModel returns the paper architecture (64 units per direction, 14
+// MFCCs, binary head) with seeded weights.
+func paperModel(b *testing.B) *brnn.Model {
+	m, err := brnn.New(brnn.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// inputs builds a deterministic T-frame MFCC-shaped sequence.
+func inputs(T, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, T)
+	for t := range out {
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		out[t] = x
+	}
+	return out
+}
+
+// benchT is the single-sequence benchmark length: ~1 s of audio at the
+// 10 ms frame shift.
+const benchT = 100
+
+// batchSize is the multi-sequence workload: the concurrent-session count
+// one serve worker's batch would amortize weights over.
+const batchSize = 8
+
+// Cases returns every benchmark kernel, batched path and per-frame
+// reference side by side on identical workloads.
+func Cases() []Case {
+	return []Case{
+		{"Forward", "batched-64x14-T100", func(b *testing.B) {
+			m := paperModel(b)
+			in := inputs(benchT, 14, 1)
+			inf := m.NewInference()
+			if _, err := inf.Forward(in); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inf.Forward(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Forward", "naive-64x14-T100", func(b *testing.B) {
+			m := paperModel(b)
+			in := inputs(benchT, 14, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Forward(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ForwardBatch", "batched-8seq-64x14-T100", func(b *testing.B) {
+			m := paperModel(b)
+			seqs := make([][][]float64, batchSize)
+			for s := range seqs {
+				seqs[s] = inputs(benchT, 14, int64(s)+1)
+			}
+			inf := m.NewInference()
+			if _, err := inf.ForwardBatch(seqs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inf.ForwardBatch(seqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ForwardBatch", "naive-8seq-64x14-T100", func(b *testing.B) {
+			m := paperModel(b)
+			seqs := make([][][]float64, batchSize)
+			for s := range seqs {
+				seqs[s] = inputs(benchT, 14, int64(s)+1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, seq := range seqs {
+					if _, err := m.Forward(seq); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"Predict", "batched-64x14-T100", func(b *testing.B) {
+			m := paperModel(b)
+			in := inputs(benchT, 14, 2)
+			inf := m.NewInference()
+			pred, err := inf.Predict(in, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if pred, err = inf.Predict(in, pred); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MulMat", "blocked-100x14x256", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			w := brnn.NewMatrixRandom(256, 14, rng)
+			x := brnn.NewMatrixRandom(benchT, 14, rng)
+			out := brnn.NewMatrix(benchT, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.MulMat(x, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MulMat", "mulvec-loop-100x14x256", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			w := brnn.NewMatrixRandom(256, 14, rng)
+			x := brnn.NewMatrixRandom(benchT, 14, rng)
+			row := make([]float64, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for t := 0; t < benchT; t++ {
+					if err := w.MulVec(x.Data[t*14:(t+1)*14], row); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+}

@@ -1,0 +1,20 @@
+//go:build amd64
+
+package brnn
+
+// gemmPackedEnabled reports whether the packed SIMD kernel is compiled in.
+// The amd64 kernel uses only SSE2, which is part of the architecture
+// baseline, so no runtime feature detection is needed.
+const gemmPackedEnabled = true
+
+// gemmPacked16 computes the 16 dot products out[l] = Σ_c x[c]·w[c*16+l]
+// over an interleaved 16-lane weight block (see packNT). Each XMM lane is
+// one output row's private accumulator advancing over c in increasing
+// order, and MULPD/ADDPD round exactly like the scalar * and + of the
+// reference kernels — FMA would fuse the rounding and is deliberately not
+// used — so the result is bit-identical to gemmNT row by row.
+//
+// Preconditions: len(out) >= 16, len(w) >= 16*len(x).
+//
+//go:noescape
+func gemmPacked16(out, x, w []float64)

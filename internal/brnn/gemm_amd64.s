@@ -1,0 +1,72 @@
+// SSE2 packed GEMM kernel. See gemm.go (packNT) for the interleaved
+// weight layout and gemm_amd64.go for the contract. Each XMM lane holds
+// one output row's accumulator; MULPD/ADDPD keep the two roundings of the
+// scalar reference (no FMA), so results are bit-identical to gemmNT.
+
+#include "textflag.h"
+
+// func gemmPacked16(out, x, w []float64)
+TEXT ·gemmPacked16(SB), NOSPLIT, $0-72
+	MOVQ out_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+	MOVQ w_base+48(FP), DX
+
+	// Eight two-lane accumulators = 16 output rows.
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	TESTQ CX, CX
+	JE    done
+
+loop:
+	// Broadcast x[c] into both lanes.
+	MOVSD    (SI), X8
+	UNPCKLPD X8, X8
+
+	MOVUPD 0(DX), X9
+	MULPD  X8, X9
+	ADDPD  X9, X0
+	MOVUPD 16(DX), X10
+	MULPD  X8, X10
+	ADDPD  X10, X1
+	MOVUPD 32(DX), X11
+	MULPD  X8, X11
+	ADDPD  X11, X2
+	MOVUPD 48(DX), X12
+	MULPD  X8, X12
+	ADDPD  X12, X3
+	MOVUPD 64(DX), X13
+	MULPD  X8, X13
+	ADDPD  X13, X4
+	MOVUPD 80(DX), X14
+	MULPD  X8, X14
+	ADDPD  X14, X5
+	MOVUPD 96(DX), X15
+	MULPD  X8, X15
+	ADDPD  X15, X6
+	MOVUPD 112(DX), X9
+	MULPD  X8, X9
+	ADDPD  X9, X7
+
+	ADDQ $8, SI
+	ADDQ $128, DX
+	DECQ CX
+	JNE  loop
+
+done:
+	MOVUPD X0, 0(DI)
+	MOVUPD X1, 16(DI)
+	MOVUPD X2, 32(DI)
+	MOVUPD X3, 48(DI)
+	MOVUPD X4, 64(DI)
+	MOVUPD X5, 80(DI)
+	MOVUPD X6, 96(DI)
+	MOVUPD X7, 112(DI)
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package brnn
+
+// gemmPackedEnabled reports whether the packed SIMD kernel is compiled in.
+// Without it, packNT skips the interleaved copy and apply falls back to
+// the pure-Go blocked kernel.
+const gemmPackedEnabled = false
+
+// gemmPacked16 is never reached when gemmPackedEnabled is false.
+func gemmPacked16(out, x, w []float64) {
+	panic("brnn: packed gemm kernel not available on this architecture")
+}

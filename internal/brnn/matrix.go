@@ -69,6 +69,103 @@ func (m *Matrix) MulVec(x, out []float64) error {
 	return nil
 }
 
+// MulMat computes out = x · mᵀ for row-major matrices: row i of out is
+// m · (row i of x), i.e. MulVec applied to every row of x in one blocked
+// pass. x is (N x Cols), out is (N x Rows). It is the batched inference
+// kernel: every output element accumulates its dot product over the
+// shared dimension in increasing index order with a single accumulator —
+// exactly the order MulVec uses — so the blocked kernel is bit-identical
+// to the per-frame reference path, element for element.
+func (m *Matrix) MulMat(x, out *Matrix) error {
+	if x.Cols != m.Cols || out.Rows != x.Rows || out.Cols != m.Rows {
+		return fmt.Errorf("brnn: mulmat shape mismatch: (%dx%d)·(%dx%d)ᵀ -> (%dx%d)",
+			x.Rows, x.Cols, m.Rows, m.Cols, out.Rows, out.Cols)
+	}
+	gemmNT(out.Data, x.Data, m.Data, x.Rows, m.Cols, m.Rows)
+	return nil
+}
+
+// gemmRowBlock is the weight-panel height of the blocked kernel: 64 rows
+// of a 64-wide weight matrix are 32 KiB of float64 — resident in L1 while
+// a panel is streamed against every input row.
+const gemmRowBlock = 64
+
+// gemmNT computes out = X · Wᵀ over packed row-major buffers: X is n
+// rows of length k (stride k), W is r rows of length k, out is n rows of
+// length r. Blocking scheme: W is processed in panels of gemmRowBlock
+// rows that stay hot in cache while the X rows stream past; within a
+// panel, four W rows are walked per pass so each X element loaded from
+// memory feeds four accumulators. Each accumulator still sums strictly
+// in increasing k, so every out element is bit-identical to the naive
+// dot product of MulVec.
+func gemmNT(out, x, w []float64, n, k, r int) {
+	for r0 := 0; r0 < r; r0 += gemmRowBlock {
+		r1 := r0 + gemmRowBlock
+		if r1 > r {
+			r1 = r
+		}
+		for i := 0; i < n; i++ {
+			xi := x[i*k : i*k+k]
+			oi := out[i*r : i*r+r]
+			j := r0
+			// Eight W rows per pass: eight independent accumulator
+			// chains hide the FP add latency that a narrower unroll
+			// leaves exposed, while each output element still sums
+			// over k in increasing order through one accumulator.
+			// The [:len(xi)] re-slices pin every weight row to the
+			// range bound so the compiler drops the per-element
+			// bounds checks inside the hot loop.
+			for ; j+8 <= r1; j += 8 {
+				w0 := w[(j+0)*k:][:len(xi)]
+				w1 := w[(j+1)*k:][:len(xi)]
+				w2 := w[(j+2)*k:][:len(xi)]
+				w3 := w[(j+3)*k:][:len(xi)]
+				w4 := w[(j+4)*k:][:len(xi)]
+				w5 := w[(j+5)*k:][:len(xi)]
+				w6 := w[(j+6)*k:][:len(xi)]
+				w7 := w[(j+7)*k:][:len(xi)]
+				var a0, a1, a2, a3, a4, a5, a6, a7 float64
+				for c, xv := range xi {
+					a0 += w0[c] * xv
+					a1 += w1[c] * xv
+					a2 += w2[c] * xv
+					a3 += w3[c] * xv
+					a4 += w4[c] * xv
+					a5 += w5[c] * xv
+					a6 += w6[c] * xv
+					a7 += w7[c] * xv
+				}
+				o := oi[j : j+8 : j+8]
+				o[0], o[1], o[2], o[3] = a0, a1, a2, a3
+				o[4], o[5], o[6], o[7] = a4, a5, a6, a7
+			}
+			for ; j+4 <= r1; j += 4 {
+				w0 := w[(j+0)*k:][:len(xi)]
+				w1 := w[(j+1)*k:][:len(xi)]
+				w2 := w[(j+2)*k:][:len(xi)]
+				w3 := w[(j+3)*k:][:len(xi)]
+				var a0, a1, a2, a3 float64
+				for c, xv := range xi {
+					a0 += w0[c] * xv
+					a1 += w1[c] * xv
+					a2 += w2[c] * xv
+					a3 += w3[c] * xv
+				}
+				o := oi[j : j+4 : j+4]
+				o[0], o[1], o[2], o[3] = a0, a1, a2, a3
+			}
+			for ; j < r1; j++ {
+				wj := w[j*k:][:len(xi)]
+				var a float64
+				for c, xv := range xi {
+					a += wj[c] * xv
+				}
+				oi[j] = a
+			}
+		}
+	}
+}
+
 // AddOuterScaled accumulates m += scale * a·bᵀ where len(a)==Rows and
 // len(b)==Cols. Used for weight-gradient accumulation.
 func (m *Matrix) AddOuterScaled(a, b []float64, scale float64) error {

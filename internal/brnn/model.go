@@ -83,7 +83,11 @@ func reverse(seq [][]float64) [][]float64 {
 	return out
 }
 
-// Forward computes per-frame class probabilities for an input sequence.
+// Forward computes per-frame class probabilities for an input sequence
+// with the per-frame reference kernels (one MulVec per timestep, fresh
+// buffers). It is the checked reference the batched path is pinned
+// against; hot paths should use NewInference, whose results are
+// bit-identical without the per-timestep allocations.
 func (m *Model) Forward(inputs [][]float64) ([][]float64, error) {
 	probs, _, _, err := m.forwardFull(inputs)
 	return probs, err
@@ -176,7 +180,49 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary restores model weights serialized by MarshalBinary.
+// DimError reports a serialized weight slice whose length does not match
+// the architecture dims carried in the same blob — a truncated or corrupt
+// model file. Before this check, a short slice would copy partially over
+// fresh random init and yield a silently-wrong model.
+type DimError struct {
+	// Field names the weight slice (e.g. "FwdWx").
+	Field string
+	// Got and Want are the decoded and required lengths.
+	Got, Want int
+}
+
+func (e *DimError) Error() string {
+	return fmt.Sprintf("brnn: serialized %s has %d values, want %d", e.Field, e.Got, e.Want)
+}
+
+// validate checks every weight slice against the architecture dims.
+func (s *serializable) validate() error {
+	d, h, c := s.InputDim, s.HiddenDim, s.NumClasses
+	for _, f := range []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"FwdWx", len(s.FwdWx), 4 * h * d},
+		{"FwdWh", len(s.FwdWh), 4 * h * h},
+		{"FwdB", len(s.FwdB), 4 * h},
+		{"BwdWx", len(s.BwdWx), 4 * h * d},
+		{"BwdWh", len(s.BwdWh), 4 * h * h},
+		{"BwdB", len(s.BwdB), 4 * h},
+		{"Dense", len(s.Dense), c * h},
+		{"DenseBias", len(s.DenseBias), c},
+	} {
+		if f.got != f.want {
+			return &DimError{Field: f.name, Got: f.got, Want: f.want}
+		}
+	}
+	return nil
+}
+
+// UnmarshalBinary restores model weights serialized by MarshalBinary. The
+// architecture dims are validated first, then every weight slice length
+// is checked against them (DimError on mismatch), so a truncated or
+// corrupt blob fails loudly instead of yielding a silently-wrong model.
 func (m *Model) UnmarshalBinary(data []byte) error {
 	var s serializable
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
@@ -184,6 +230,9 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 	}
 	restored, err := New(Config{InputDim: s.InputDim, HiddenDim: s.HiddenDim, NumClasses: s.NumClasses, Seed: 1})
 	if err != nil {
+		return err
+	}
+	if err := s.validate(); err != nil {
 		return err
 	}
 	copy(restored.fwd.wx.Data, s.FwdWx)

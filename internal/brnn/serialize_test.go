@@ -1,0 +1,151 @@
+package brnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+)
+
+// encodeSerializable gob-encodes a raw serializable, bypassing
+// MarshalBinary, so tests can craft corrupt blobs.
+func encodeSerializable(t *testing.T, s *serializable) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// validSerializable returns a structurally correct blob payload for a
+// small architecture.
+func validSerializable(t *testing.T) *serializable {
+	t.Helper()
+	m, err := New(Config{InputDim: 3, HiddenDim: 4, NumClasses: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s serializable
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+// TestUnmarshalRejectsCorruptSlices is the corrupt/truncated-blob table:
+// every weight slice is tried short, long, and nil; each must fail with a
+// DimError naming the field instead of copying partially over random init.
+func TestUnmarshalRejectsCorruptSlices(t *testing.T) {
+	fields := []struct {
+		name   string
+		mutate func(*serializable, []float64)
+	}{
+		{"FwdWx", func(s *serializable, v []float64) { s.FwdWx = v }},
+		{"FwdWh", func(s *serializable, v []float64) { s.FwdWh = v }},
+		{"FwdB", func(s *serializable, v []float64) { s.FwdB = v }},
+		{"BwdWx", func(s *serializable, v []float64) { s.BwdWx = v }},
+		{"BwdWh", func(s *serializable, v []float64) { s.BwdWh = v }},
+		{"BwdB", func(s *serializable, v []float64) { s.BwdB = v }},
+		{"Dense", func(s *serializable, v []float64) { s.Dense = v }},
+		{"DenseBias", func(s *serializable, v []float64) { s.DenseBias = v }},
+	}
+	corruptions := []struct {
+		name string
+		make func(orig []float64) []float64
+	}{
+		{"truncated", func(orig []float64) []float64 { return orig[:len(orig)-1] }},
+		{"oversized", func(orig []float64) []float64 { return append(append([]float64(nil), orig...), 0) }},
+		{"nil", func([]float64) []float64 { return nil }},
+	}
+	for _, f := range fields {
+		for _, c := range corruptions {
+			t.Run(f.name+"/"+c.name, func(t *testing.T) {
+				s := validSerializable(t)
+				var orig []float64
+				switch f.name {
+				case "FwdWx":
+					orig = s.FwdWx
+				case "FwdWh":
+					orig = s.FwdWh
+				case "FwdB":
+					orig = s.FwdB
+				case "BwdWx":
+					orig = s.BwdWx
+				case "BwdWh":
+					orig = s.BwdWh
+				case "BwdB":
+					orig = s.BwdB
+				case "Dense":
+					orig = s.Dense
+				case "DenseBias":
+					orig = s.DenseBias
+				}
+				f.mutate(s, c.make(orig))
+				var m Model
+				err := m.UnmarshalBinary(encodeSerializable(t, s))
+				if err == nil {
+					t.Fatalf("%s %s blob decoded without error", c.name, f.name)
+				}
+				var dimErr *DimError
+				if !errors.As(err, &dimErr) {
+					t.Fatalf("error %v is not a DimError", err)
+				}
+				if dimErr.Field != f.name {
+					t.Errorf("DimError names %q, want %q", dimErr.Field, f.name)
+				}
+			})
+		}
+	}
+}
+
+// TestUnmarshalRejectsBadArchitecture covers blobs whose dims themselves
+// are invalid (the architecture validation path, before slice checks).
+func TestUnmarshalRejectsBadArchitecture(t *testing.T) {
+	for _, mutate := range []func(*serializable){
+		func(s *serializable) { s.InputDim = 0 },
+		func(s *serializable) { s.HiddenDim = -4 },
+		func(s *serializable) { s.NumClasses = 1 },
+	} {
+		s := validSerializable(t)
+		mutate(s)
+		var m Model
+		if err := m.UnmarshalBinary(encodeSerializable(t, s)); err == nil {
+			t.Error("invalid architecture should error")
+		}
+	}
+}
+
+// TestUnmarshalErrorLeavesModelUsable verifies a failed restore does not
+// clobber the receiver.
+func TestUnmarshalErrorLeavesModelUsable(t *testing.T) {
+	m, err := New(Config{InputDim: 3, HiddenDim: 4, NumClasses: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := randomSeq(4, 3, 2, 6).Inputs
+	want, err := m.Forward(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := validSerializable(t)
+	s.FwdWx = s.FwdWx[:3]
+	if err := m.UnmarshalBinary(encodeSerializable(t, s)); err == nil {
+		t.Fatal("corrupt blob should error")
+	}
+	got, err := m.Forward(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range want {
+		for k := range want[f] {
+			if want[f][k] != got[f][k] {
+				t.Fatal("failed UnmarshalBinary mutated the receiver")
+			}
+		}
+	}
+}

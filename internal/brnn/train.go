@@ -260,13 +260,20 @@ func (tr *Trainer) Train(data []Sequence) ([]float64, error) {
 }
 
 // Evaluate returns frame-level accuracy of the model on labeled sequences.
+// One inference session (and one prediction buffer) is reused across the
+// whole pass, so evaluation runs on the batched kernels without
+// per-sequence allocations; predictions are bit-identical to
+// Model.Predict.
 func Evaluate(m *Model, data []Sequence) (float64, error) {
 	correct, total := 0, 0
+	inf := m.NewInference()
+	var pred []int
 	for i := range data {
 		if err := data[i].Validate(m); err != nil {
 			return 0, err
 		}
-		pred, err := m.Predict(data[i].Inputs)
+		var err error
+		pred, err = inf.Predict(data[i].Inputs, pred)
 		if err != nil {
 			return 0, err
 		}

@@ -88,7 +88,9 @@ type ParallelScorer struct {
 // NewParallelScorer builds a concurrent scorer for one method. The
 // provider is required for MethodFull and ignored otherwise; it must be
 // safe for concurrent SpansFor calls (both OracleProvider and
-// BRNNProvider are: span derivation reads only immutable state).
+// BRNNProvider are: the oracle reads only immutable alignments, and the
+// BRNN detector pools its mutable inference scratch per caller while the
+// model weights stay read-only).
 func NewParallelScorer(method detector.Method, w *device.Wearable, provider SpanProvider, seed int64, opts ...ParallelOption) (*ParallelScorer, error) {
 	ps := &ParallelScorer{
 		spec: scorerSpec{method: method, wearable: w, provider: provider, seed: seed},

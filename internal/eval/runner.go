@@ -42,6 +42,8 @@ func (p *OracleProvider) SpansFor(s *Sample) ([]segment.Span, error) {
 }
 
 // BRNNProvider runs the trained phoneme detector on the VA recording.
+// It is safe for concurrent SpansFor calls: the detector's model weights
+// are read-only and its per-call inference scratch is pooled.
 type BRNNProvider struct {
 	Detector *segment.Detector
 }

@@ -1,0 +1,56 @@
+package segment
+
+import (
+	"bytes"
+	"testing"
+
+	"vibguard/internal/brnn"
+	"vibguard/internal/mfcc"
+	"vibguard/internal/selection"
+)
+
+// FuzzLoad hammers the detector deserializer with malformed input:
+// garbage, truncations, and mutations of a valid saved detector. Load
+// must never panic; when it does accept a blob, the restored detector
+// must satisfy the invariants NewDetector enforces (MFCC-matched input
+// dimension, binary classes, non-empty phoneme set), since everything
+// downstream — DetectFrames, the serve loop — relies on them. Seed
+// corpora live in testdata/fuzz/FuzzLoad.
+func FuzzLoad(f *testing.F) {
+	// A valid saved detector (tiny hidden layer keeps the corpus small;
+	// the input dimension must match the MFCC geometry to be accepted).
+	d, err := NewDetector(selection.CanonicalSelected(),
+		brnn.Config{InputDim: 14, HiddenDim: 2, NumClasses: 2, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := d.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte("not a detector"))
+	f.Add([]byte{})
+	// A flipped byte in the middle of the model blob.
+	mutated := append([]byte(nil), valid.Bytes()...)
+	mutated[len(mutated)/2] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if d.Model().InputDim() != mfcc.DefaultConfig().NumCoeffs {
+			t.Fatalf("accepted input dim %d", d.Model().InputDim())
+		}
+		if d.Model().NumClasses() != 2 {
+			t.Fatalf("accepted %d classes", d.Model().NumClasses())
+		}
+		// The restored detector must actually run.
+		if _, err := d.DetectFrames(make([]float64, 800)); err != nil {
+			t.Fatalf("restored detector cannot detect: %v", err)
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"vibguard/internal/brnn"
 	"vibguard/internal/dsp"
@@ -28,11 +29,46 @@ type Span struct {
 func (s Span) Len() int { return s.End - s.Start }
 
 // Detector wraps the MFCC extractor, the BRNN model, and the selected
-// phoneme set.
+// phoneme set. The model weights are read-only at inference; the mutable
+// per-call scratch lives in a pool of brnn.Inference sessions, so one
+// Detector can be shared by any number of goroutines (serve workers, the
+// parallel evaluation engine) with allocation-free steady-state inference.
 type Detector struct {
 	ext      *mfcc.Extractor
 	model    *brnn.Model
 	selected map[string]bool
+	scratch  sync.Pool // of *inferScratch
+}
+
+// inferScratch is one worker's pooled inference state: a brnn session plus
+// the prediction buffer it refills.
+type inferScratch struct {
+	inf  *brnn.Inference
+	pred []int
+}
+
+// validateModel enforces the invariants NewDetector promises: the model's
+// input dimension matches the MFCC coefficient count and detection is
+// binary. Load re-runs it on deserialized models so a stale or mismatched
+// detector file fails at load time, not with a confusing dim error (or a
+// silent mislabel) later.
+func validateModel(m *brnn.Model, mfccCfg mfcc.Config) error {
+	if m.InputDim() != mfccCfg.NumCoeffs {
+		return fmt.Errorf("segment: model input dim %d != MFCC coeffs %d", m.InputDim(), mfccCfg.NumCoeffs)
+	}
+	if m.NumClasses() != 2 {
+		return fmt.Errorf("segment: detection is binary, got %d classes", m.NumClasses())
+	}
+	return nil
+}
+
+// newDetector assembles a Detector around a validated model.
+func newDetector(ext *mfcc.Extractor, model *brnn.Model, selected map[string]bool) *Detector {
+	d := &Detector{ext: ext, model: model, selected: selected}
+	d.scratch.New = func() any {
+		return &inferScratch{inf: model.NewInference()}
+	}
+	return d
 }
 
 // NewDetector creates an untrained detector for the given selected phoneme
@@ -60,7 +96,7 @@ func NewDetector(selected map[string]bool, modelCfg brnn.Config) (*Detector, err
 	for k, v := range selected {
 		sel[k] = v
 	}
-	return &Detector{ext: ext, model: model, selected: sel}, nil
+	return newDetector(ext, model, sel), nil
 }
 
 // Selected reports whether a phoneme symbol is in the detector's effective
@@ -149,7 +185,9 @@ func (d *Detector) FrameAccuracy(utts []*phoneme.Utterance) (float64, error) {
 
 // DetectFrames classifies each MFCC frame of an audio recording as
 // effective (true) or not, applying a short median smoothing to remove
-// single-frame flicker.
+// single-frame flicker. Inference runs on a pooled batched session, so
+// concurrent callers share read-only weights and reuse scratch instead of
+// allocating per call.
 func (d *Detector) DetectFrames(audio []float64) ([]bool, error) {
 	feats, err := d.ext.Extract(audio)
 	if err != nil {
@@ -158,15 +196,59 @@ func (d *Detector) DetectFrames(audio []float64) ([]bool, error) {
 	if len(feats) == 0 {
 		return nil, nil
 	}
-	pred, err := d.model.Predict(feats)
+	s := d.scratch.Get().(*inferScratch)
+	s.pred, err = s.inf.Predict(feats, s.pred)
 	if err != nil {
+		d.scratch.Put(s)
 		return nil, fmt.Errorf("segment: %w", err)
 	}
-	out := make([]bool, len(pred))
-	for t, p := range pred {
+	out := make([]bool, len(s.pred))
+	for t, p := range s.pred {
 		out[t] = p == 1
 	}
+	d.scratch.Put(s)
 	return medianSmooth(out, 2), nil
+}
+
+// DetectFramesBatch classifies the frames of several recordings in one
+// batched inference pass: the model weights are traversed once per
+// timestep for the whole batch instead of once per recording. The result
+// for each recording is identical to DetectFrames on it (nil for
+// recordings too short to frame).
+func (d *Detector) DetectFramesBatch(audios [][]float64) ([][]bool, error) {
+	feats := make([][][]float64, len(audios))
+	for i, audio := range audios {
+		f, err := d.ext.Extract(audio)
+		if err != nil {
+			return nil, fmt.Errorf("segment: recording %d: %w", i, err)
+		}
+		feats[i] = f
+	}
+	s := d.scratch.Get().(*inferScratch)
+	probs, err := s.inf.ForwardBatch(feats)
+	if err != nil {
+		d.scratch.Put(s)
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	out := make([][]bool, len(audios))
+	for i, seq := range probs {
+		if len(seq) == 0 {
+			continue
+		}
+		frames := make([]bool, len(seq))
+		for t, p := range seq {
+			best := 0
+			for k, v := range p {
+				if v > p[best] {
+					best = k
+				}
+			}
+			frames[t] = best == 1
+		}
+		out[i] = medianSmooth(frames, 2)
+	}
+	d.scratch.Put(s)
+	return out, nil
 }
 
 // medianSmooth applies a sliding majority vote of half-width radius.
@@ -191,7 +273,12 @@ func medianSmooth(x []bool, radius int) []bool {
 	return out
 }
 
-// Spans merges consecutive detected frames into sample spans.
+// Spans merges consecutive detected frames into sample spans. Because
+// frames overlap (shift < frame length), runs separated by a short
+// inactive gap can still overlap or touch in sample terms — with the
+// default 160/400 geometry, two runs one inactive frame apart overlap by
+// 80 samples. Such spans are merged, so ExtractSpans never duplicates
+// audio or double-fades a seam.
 func (d *Detector) Spans(frames []bool) []Span {
 	var spans []Span
 	shift, frameLen := d.ext.FrameShift(), d.ext.FrameLength()
@@ -202,7 +289,14 @@ func (d *Detector) Spans(frames []bool) []Span {
 		case active && start < 0:
 			start = t
 		case !active && start >= 0:
-			spans = append(spans, Span{Start: start * shift, End: (t-1)*shift + frameLen})
+			sp := Span{Start: start * shift, End: (t-1)*shift + frameLen}
+			if n := len(spans); n > 0 && sp.Start <= spans[n-1].End {
+				if sp.End > spans[n-1].End {
+					spans[n-1].End = sp.End
+				}
+			} else {
+				spans = append(spans, sp)
+			}
 			start = -1
 		}
 	}
@@ -276,7 +370,11 @@ func (d *Detector) Save(w io.Writer) error {
 	return nil
 }
 
-// Load restores a detector serialized by Save.
+// Load restores a detector serialized by Save, re-validating the
+// invariants NewDetector enforces: the deserialized model must match the
+// MFCC coefficient count and be binary, so a stale or mismatched detector
+// file fails here with a clear error instead of mislabeling frames or
+// dying later with a confusing dim mismatch.
 func Load(r io.Reader) (*Detector, error) {
 	var file detectorFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
@@ -289,7 +387,11 @@ func Load(r io.Reader) (*Detector, error) {
 	if err := model.UnmarshalBinary(file.Model); err != nil {
 		return nil, fmt.Errorf("segment: %w", err)
 	}
-	ext, err := mfcc.NewExtractor(mfcc.DefaultConfig())
+	mfccCfg := mfcc.DefaultConfig()
+	if err := validateModel(&model, mfccCfg); err != nil {
+		return nil, err
+	}
+	ext, err := mfcc.NewExtractor(mfccCfg)
 	if err != nil {
 		return nil, fmt.Errorf("segment: %w", err)
 	}
@@ -297,7 +399,7 @@ func Load(r io.Reader) (*Detector, error) {
 	for _, sym := range file.Selected {
 		selected[sym] = true
 	}
-	return &Detector{ext: ext, model: &model, selected: selected}, nil
+	return newDetector(ext, &model, selected), nil
 }
 
 // OracleSpans returns the ground-truth effective-phoneme spans of an

@@ -2,6 +2,9 @@ package segment
 
 import (
 	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
 	"testing"
 
 	"vibguard/internal/brnn"
@@ -205,6 +208,180 @@ func TestSpansMergesFrames(t *testing.T) {
 	}
 	if got := d.Spans(nil); got != nil {
 		t.Errorf("nil spans = %v", got)
+	}
+}
+
+// TestSpansMergeOverlap is the regression test for the overlapping-span
+// bug: with the 160/400 frame geometry, runs separated by ONE inactive
+// frame overlap by 80 samples and must merge into a single span, or
+// ExtractSpans duplicates audio and double-fades the seam.
+func TestSpansMergeOverlap(t *testing.T) {
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-frame gap: run {0} ends at 400, run {2} starts at 320.
+	spans := d.Spans([]bool{true, false, true})
+	if len(spans) != 1 || spans[0] != (Span{Start: 0, End: 2*160 + 400}) {
+		t.Fatalf("one-frame gap spans = %v, want one merged span (0,720)", spans)
+	}
+	// Alternating frames chain-merge into one span.
+	spans = d.Spans([]bool{true, false, true, false, true})
+	if len(spans) != 1 || spans[0] != (Span{Start: 0, End: 4*160 + 400}) {
+		t.Fatalf("alternating spans = %v, want one merged span (0,1040)", spans)
+	}
+	// A two-frame gap leaves 80 samples between the spans: no merge.
+	spans = d.Spans([]bool{true, false, false, true})
+	if len(spans) != 2 {
+		t.Fatalf("two-frame gap spans = %v, want 2", spans)
+	}
+	// Whatever the input, emitted spans must be sorted and disjoint so
+	// extraction never duplicates samples.
+	frames := []bool{true, true, false, true, false, false, true, true, false, true}
+	spans = d.Spans(frames)
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Fatalf("spans %v overlap at %d", spans, i)
+		}
+	}
+}
+
+// TestLoadRejectsMismatchedModel pins the Load-side re-validation of the
+// NewDetector invariants: a structurally valid file whose model does not
+// match the MFCC geometry (or is not binary, or is corrupt) must fail at
+// load time.
+func TestLoadRejectsMismatchedModel(t *testing.T) {
+	encode := func(t *testing.T, file detectorFile) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&file); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	blobFor := func(t *testing.T, cfg brnn.Config) []byte {
+		t.Helper()
+		m, err := brnn.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	sel := []string{"aa", "er"}
+	cases := []struct {
+		name string
+		file detectorFile
+	}{
+		{"input dim mismatch", detectorFile{
+			Selected: sel,
+			Model:    blobFor(t, brnn.Config{InputDim: 10, HiddenDim: 4, NumClasses: 2, Seed: 1}),
+		}},
+		{"non-binary classes", detectorFile{
+			Selected: sel,
+			Model:    blobFor(t, brnn.Config{InputDim: 14, HiddenDim: 4, NumClasses: 3, Seed: 1}),
+		}},
+		{"corrupt model blob", detectorFile{
+			Selected: sel,
+			Model:    blobFor(t, smallModelCfg())[:40],
+		}},
+		{"no selected phonemes", detectorFile{
+			Model: blobFor(t, smallModelCfg()),
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(encode(t, c.file))); err == nil {
+				t.Fatalf("%s should fail to load", c.name)
+			}
+		})
+	}
+	// Sanity: the same encoding with a conforming model loads fine.
+	good := detectorFile{Selected: sel, Model: blobFor(t, smallModelCfg())}
+	if _, err := Load(bytes.NewReader(encode(t, good))); err != nil {
+		t.Fatalf("conforming file failed to load: %v", err)
+	}
+}
+
+// TestDetectFramesBatchMatchesSingle pins the batch entry point against
+// per-recording DetectFrames, including a too-short recording in the
+// middle of the batch.
+func TestDetectFramesBatchMatchesSingle(t *testing.T) {
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	utts := trainingUtterances(t, 2, 2)
+	audios := [][]float64{
+		utts[0].Samples,
+		make([]float64, 10), // too short to frame
+		utts[1].Samples,
+		utts[2].Samples[:4000],
+	}
+	got, err := d.DetectFramesBatch(audios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(audios) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(audios))
+	}
+	for i, audio := range audios {
+		want, err := d.DetectFrames(audio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got[i]) {
+			t.Fatalf("recording %d: %d frames, want %d", i, len(got[i]), len(want))
+		}
+		for f := range want {
+			if want[f] != got[i][f] {
+				t.Fatalf("recording %d frame %d differs from DetectFrames", i, f)
+			}
+		}
+	}
+}
+
+// TestDetectFramesConcurrent hammers one shared detector from several
+// goroutines (the serve-worker pattern backed by the session pool); run
+// under -race by the CI brnn job.
+func TestDetectFramesConcurrent(t *testing.T) {
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	audio := trainingUtterances(t, 1, 1)[0].Samples
+	want, err := d.DetectFrames(audio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got, err := d.DetectFrames(audio)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for f := range want {
+					if want[f] != got[f] {
+						errs <- fmt.Errorf("concurrent detection diverged at frame %d", f)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 
