@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn route-race route-smoke bench-wire
 
 build:
 	$(GO) build ./...
@@ -21,13 +21,14 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
-# Short fuzz runs of the WAV decoder, the Eq. (5) alignment, and the
-# detector deserializer; the checked-in corpora under testdata/fuzz/
-# replay in plain `make test` too.
+# Short fuzz runs of the WAV decoder, the Eq. (5) alignment, the detector
+# deserializer, and the session wire-protocol frame decoder; the
+# checked-in corpora under testdata/fuzz/ replay in plain `make test` too.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/wavio/
 	$(GO) test -fuzz=FuzzAlignRecordings -fuzztime=30s ./internal/syncnet/
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/segment/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/serve/
 
 # Focused race run for the parallel scoring engine only.
 race-eval:
@@ -84,3 +85,22 @@ serve-smoke:
 serve-race:
 	$(GO) vet ./internal/serve/ ./cmd/vibguardd/
 	$(GO) test -race -timeout 10m ./internal/serve/ ./cmd/vibguardd/
+
+# Race gate for the routing tier: the ring property tests, the multi-node
+# chaos suite (node death mid-session, partitioned links, rolling drain,
+# two-hop half-close), and the 3-node soak with its bit-identical
+# single-node cross-check, all under the race detector.
+route-race:
+	$(GO) vet ./internal/router/
+	$(GO) test -race -timeout 10m ./internal/router/
+
+# Multi-node routing smoke test: boot vibguardd -route with 3 nodes, kill
+# one mid-burst, and assert sessions complete on the survivors with typed
+# node-loss errors, zero mismatches, and a clean router-then-nodes drain.
+route-smoke:
+	./scripts/route_smoke.sh
+
+# Wire-protocol codec comparison (gob vs framed binary); EXPERIMENTS.md
+# records the output.
+bench-wire:
+	$(GO) test -bench='SessionRoundTrip|ErrorRoundTrip' -benchmem -run=^$$ ./internal/serve/

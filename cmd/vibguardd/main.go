@@ -31,6 +31,13 @@
 //	          [-seed 0] [-debug-addr 127.0.0.1:6060] [-log-format text]
 //	vibguardd -serve [-serve-addr 127.0.0.1:0] [-sessions 64]
 //	          [-wearables 8] [-serve-workers 0] [-queue-depth 0]
+//	vibguardd -route [-nodes 3] [-chaos-kill -1] [-serve-addr 127.0.0.1:0]
+//	          [-sessions 48] [-wearables 8]
+//
+// With -route the daemon boots N in-process detection nodes behind the
+// consistent-hash session router (internal/router) and drives the burst
+// through the router's multiplexed TCP front-door; -chaos-kill hard-kills
+// one node mid-burst to demonstrate typed node-loss errors and failover.
 package main
 
 import (
@@ -62,11 +69,14 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty = off)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	serveMode := flag.Bool("serve", false, "run the session-oriented detection server against a simulated wearable fleet")
-	serveAddr := flag.String("serve-addr", "127.0.0.1:0", "session front-end listen address (-serve)")
-	sessions := flag.Int("sessions", 64, "concurrent sessions to fire at the server (-serve)")
-	wearables := flag.Int("wearables", 8, "simulated wearable fleet size (-serve)")
-	serveWorkers := flag.Int("serve-workers", 0, "detection worker pool size, 0 = GOMAXPROCS (-serve)")
-	queueDepth := flag.Int("queue-depth", 0, "admission queue depth, 0 = -sessions so the demo burst is never shed (-serve)")
+	serveAddr := flag.String("serve-addr", "127.0.0.1:0", "session front-end listen address (-serve / -route)")
+	sessions := flag.Int("sessions", 64, "concurrent sessions to fire at the server (-serve / -route)")
+	wearables := flag.Int("wearables", 8, "simulated wearable fleet size (-serve / -route)")
+	serveWorkers := flag.Int("serve-workers", 0, "detection worker pool size, 0 = GOMAXPROCS (-serve / -route)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth, 0 = sized so the demo burst is never shed (-serve / -route)")
+	routeMode := flag.Bool("route", false, "boot N in-process serve nodes behind the consistent-hash router and drive the burst through its front-door")
+	nodeCount := flag.Int("nodes", 3, "serve node count behind the router (-route)")
+	chaosKill := flag.Int("chaos-kill", -1, "node index to hard-kill mid-burst, -1 = none (-route)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -84,8 +94,25 @@ func main() {
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
-	logger.Info("starting", "seed", *seed, "spl", *attackSPL, "retries", *retries, "serve", *serveMode)
+	logger.Info("starting", "seed", *seed, "spl", *attackSPL, "retries", *retries, "serve", *serveMode, "route", *routeMode)
 
+	if *routeMode {
+		opts := routeOptions{
+			addr:       *serveAddr,
+			nodes:      *nodeCount,
+			sessions:   *sessions,
+			wearables:  *wearables,
+			workers:    *serveWorkers,
+			queueDepth: *queueDepth,
+			attackSPL:  *attackSPL,
+			chaosKill:  *chaosKill,
+		}
+		if err := runRoute(logger, opts, *debugAddr, *seed); err != nil {
+			logger.Error("fatal", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serveMode {
 		opts := serveOptions{
 			addr:       *serveAddr,

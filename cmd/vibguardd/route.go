@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vibguard"
+	"vibguard/internal/core"
+	"vibguard/internal/device"
+	"vibguard/internal/router"
+	"vibguard/internal/serve"
+)
+
+// routeOptions configures the -route fleet pass.
+type routeOptions struct {
+	addr       string
+	nodes      int
+	sessions   int
+	wearables  int
+	workers    int
+	queueDepth int
+	attackSPL  float64
+	// chaosKill, when >= 0, hard-kills that node index (RST to every
+	// peer) once a quarter of the burst has resolved — the smoke test's
+	// node-death-mid-burst scenario.
+	chaosKill int
+}
+
+// runRoute boots opts.nodes in-process serve nodes behind a consistent-
+// hash router, fires opts.sessions concurrent sessions through the
+// router's TCP front-door (multiplexed over a handful of client
+// connections), optionally kills one node mid-burst, reports the pass,
+// and drains router-then-nodes in the rolling-restart order.
+func runRoute(logger *slog.Logger, opts routeOptions, debugAddr string, seed int64) error {
+	if opts.nodes < 1 || opts.sessions < 1 || opts.wearables < 1 {
+		return fmt.Errorf("-nodes, -sessions and -wearables must be >= 1")
+	}
+	if opts.chaosKill >= opts.nodes {
+		return fmt.Errorf("-chaos-kill %d out of range for %d nodes", opts.chaosKill, opts.nodes)
+	}
+	if opts.queueDepth == 0 {
+		// Every session may hash onto one node; size each queue for the
+		// whole burst so the demo pass is never shed.
+		opts.queueDepth = opts.sessions
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	if debugAddr != "" {
+		if _, err := serveDebug(logger, debugAddr); err != nil {
+			return err
+		}
+	}
+
+	// Train the BRNN once; all nodes' workers share the read-only weights,
+	// exactly like -serve (and like a real fleet shipping one model).
+	logger.Info("training phoneme detector")
+	det, err := vibguard.TrainPhonemeDetector(vibguard.DetectorTraining{Seed: rng.Int63()})
+	if err != nil {
+		return err
+	}
+	segmenter := vibguard.BRNNSegmenter(det)
+
+	fleet, err := buildFleet(logger, rng, opts.wearables, opts.attackSPL)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, fw := range fleet {
+			_ = fw.agent.Close()
+		}
+	}()
+
+	rt := router.New(router.Config{
+		ProbeInterval: 100 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailAfter:     2,
+		OnTransition: func(node string, from, to router.NodeState) {
+			logger.Info("node transition", "node", node, "from", from.String(), "to", to.String())
+		},
+	})
+	nodes := make([]*serve.Server, 0, opts.nodes)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, n := range nodes {
+			_ = n.Shutdown(ctx)
+		}
+	}()
+	for i := 0; i < opts.nodes; i++ {
+		srv, err := serve.NewServer(serve.Config{
+			NewDefense: func() (*core.Defense, error) {
+				return core.NewDefense(core.DefaultConfig(device.NewFossilGen5(), segmenter))
+			},
+			Workers:        opts.workers,
+			QueueDepth:     opts.queueDepth,
+			SessionTimeout: 2 * time.Minute,
+			Seed:           seed,
+		})
+		if err != nil {
+			return err
+		}
+		nodeAddr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		id := fmt.Sprintf("node%d", i)
+		if err := rt.Register(id, nodeAddr); err != nil {
+			return err
+		}
+		nodes = append(nodes, srv)
+		logger.Info("node serving", "node", id, "addr", nodeAddr,
+			"workers", srv.Workers(), "queue_depth", srv.QueueDepth())
+	}
+
+	addr, err := rt.Listen(opts.addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("router serving", "addr", addr, "nodes", opts.nodes)
+
+	// A handful of front-door connections carry the whole burst — the
+	// protocol multiplexes concurrent sessions per connection.
+	clientCount := 4
+	if opts.sessions < clientCount {
+		clientCount = opts.sessions
+	}
+	clients := make([]*serve.Client, clientCount)
+	for c := range clients {
+		clients[c], err = serve.DialServer(addr, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("front-door dial: %w", err)
+		}
+		defer func(c *serve.Client) { _ = c.Close() }(clients[c])
+	}
+
+	var completed, shed, nodeLost, failed, mismatches, resolved atomic.Int64
+	if opts.chaosKill >= 0 {
+		// Kill the victim once a quarter of the burst has resolved, so the
+		// death lands mid-burst with sessions in flight on it.
+		victim := nodes[opts.chaosKill]
+		quarter := int64(opts.sessions / 4)
+		go func() {
+			for resolved.Load() < quarter {
+				time.Sleep(time.Millisecond)
+			}
+			logger.Info("chaos: killing node", "node", fmt.Sprintf("node%d", opts.chaosKill))
+			victim.Kill()
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < opts.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer resolved.Add(1)
+			fw := fleet[i%len(fleet)]
+			v, err := clients[i%len(clients)].Inspect(serve.Request{
+				UserID:       fmt.Sprintf("user%d", i%16),
+				WearableAddr: fw.agent.Addr(),
+				VARecording:  fw.vaRec,
+				RNGSeed:      serve.SessionSeed(seed, uint64(i)),
+			})
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				shed.Add(1)
+			case errors.Is(err, serve.ErrNodeLost):
+				// Expected under -chaos-kill: the session was in flight on
+				// (or routed to) the killed node. The error is typed and
+				// names the node; nothing hangs.
+				nodeLost.Add(1)
+				var ne *serve.NodeError
+				if errors.As(err, &ne) {
+					logger.Info("session lost node", "session", i, "node", ne.Node)
+				}
+			case err != nil:
+				failed.Add(1)
+				logger.Error("session failed", "session", i, "err", err)
+			default:
+				completed.Add(1)
+				if v.Attack != fw.expectAttack {
+					mismatches.Add(1)
+					logger.Error("verdict mismatch",
+						"session", i, "attack", v.Attack, "score", v.Score, "want", fw.expectAttack)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	logger.Info("route pass complete",
+		"sessions", opts.sessions,
+		"completed", completed.Load(),
+		"shed", shed.Load(),
+		"node_lost", nodeLost.Load(),
+		"failed", failed.Load(),
+		"mismatches", mismatches.Load())
+
+	if debugAddr != "" {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		logger.Info("route pass complete; debug endpoints still serving (SIGINT/SIGTERM to exit)")
+		<-stop
+	}
+
+	// Rolling-restart drain order: router first (front door stops taking
+	// sessions, in-flight ones finish), then each node.
+	logger.Info("draining router")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		return fmt.Errorf("router drain: %w", err)
+	}
+	logger.Info("router drained")
+	for i, n := range nodes {
+		if err := n.Shutdown(ctx); err != nil {
+			return fmt.Errorf("node%d drain: %w", i, err)
+		}
+	}
+	logger.Info("nodes drained")
+
+	if failed.Load() > 0 || mismatches.Load() > 0 {
+		return fmt.Errorf("route pass: %d failed sessions, %d verdict mismatches", failed.Load(), mismatches.Load())
+	}
+	if opts.chaosKill < 0 && nodeLost.Load() > 0 {
+		return fmt.Errorf("route pass: %d sessions lost nodes with no chaos injected", nodeLost.Load())
+	}
+	return nil
+}

@@ -1,0 +1,505 @@
+package router_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vibguard/internal/faults"
+	"vibguard/internal/router"
+	"vibguard/internal/serve"
+)
+
+// The multi-node chaos harness: internal/faults dial routing extended to
+// the router↔node hop. Node death mid-session, a partitioned link, a
+// rolling drain under live traffic, and shed propagation each must
+// degrade to the documented typed error — never a hang, never a lost or
+// double-assigned verdict — while healthy nodes keep completing sessions.
+
+// hopRouter routes the router→node dial per node address, so each node's
+// link can carry its own faults.NetSpec. Addresses without an injector
+// dial cleanly. It is the router-hop twin of the serve fault matrix's
+// per-wearable faultRouter.
+type hopRouter struct {
+	mu    sync.RWMutex
+	dials map[string]router.DialFunc
+}
+
+func newHopRouter() *hopRouter {
+	return &hopRouter{dials: make(map[string]router.DialFunc)}
+}
+
+// fault wraps addr's dials with spec.
+func (h *hopRouter) fault(addr string, spec faults.NetSpec) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dials[addr] = faults.NewInjector(spec).WrapDial(nil)
+}
+
+// clear restores clean dialing for addr.
+func (h *hopRouter) clear(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.dials, addr)
+}
+
+func (h *hopRouter) dialFunc() router.DialFunc {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		h.mu.RLock()
+		dial := h.dials[addr]
+		h.mu.RUnlock()
+		if dial == nil {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+		return dial(addr, timeout)
+	}
+}
+
+// userOwnedBy finds a user id the router currently maps to the wanted
+// node, so chaos tests can aim sessions at a specific node.
+func userOwnedBy(t *testing.T, r *router.Router, node string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		user := fmt.Sprintf("aimed-user-%d", i)
+		owner, err := r.NodeFor(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == node {
+			return user
+		}
+	}
+	t.Fatalf("no user maps to %s in 10000 tries", node)
+	return ""
+}
+
+// TestRouterRoutesByUser pins the tenancy contract end to end: sessions
+// submitted through the router complete with correct verdicts, and one
+// user's sessions always land on one node (NodeFor is stable while the
+// fleet is healthy).
+func TestRouterRoutesByUser(t *testing.T) {
+	sc := scenarioFor(t)
+	// Agents before the cluster: node workers cache wearable connections
+	// for their lifetime, and cleanups run LIFO, so the nodes must shut
+	// down before the agents' Close waits out their connections.
+	legit := newAgent(t, sc.legitWear)
+	attack := newAgent(t, sc.attackWear)
+	cl := newCluster(t, 3, nodeConfig{}, router.Config{
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 2,
+	})
+
+	owners := make(map[string]string)
+	for i := 0; i < 12; i++ {
+		user := fmt.Sprintf("user-%d", i%4) // 4 users, 3 sessions each
+		wantAttack := i%4 >= 2
+		wear, va := legit.Addr(), sc.legitVA
+		if wantAttack {
+			wear, va = attack.Addr(), sc.attackVA
+		}
+		owner, err := cl.r.NodeFor(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := owners[user]; ok && prev != owner {
+			t.Errorf("user %s moved from %s to %s with a healthy fleet", user, prev, owner)
+		}
+		owners[user] = owner
+		v, err := cl.r.Submit(context.Background(), request(user, wear, va, uint64(i)))
+		if err != nil {
+			t.Fatalf("session %d (user %s): %v", i, user, err)
+		}
+		if v.Attack != wantAttack {
+			t.Errorf("session %d: attack=%v (score %v), want %v", i, v.Attack, v.Score, wantAttack)
+		}
+	}
+}
+
+// TestNodeDeathMidSession is the headline chaos cell: a node dies (hard
+// network kill, RST to every peer) while a session is in flight on it.
+// The session must fail promptly with the typed serve.ErrNodeLost wrapped
+// in a NodeError naming the dead node — not hang, not vanish — the node
+// must transition down immediately (no waiting out the prober), and the
+// same user's next session must succeed on a surviving node.
+func TestNodeDeathMidSession(t *testing.T) {
+	sc := scenarioFor(t)
+	gated, calls, release := gatedAgent(t, sc.legitWear) // before the cluster: cleanup is LIFO
+	healthy := newAgent(t, sc.legitWear)
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
+	cl := newCluster(t, 2, nodeConfig{}, router.Config{
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 3,
+	})
+
+	victim := cl.ids[0]
+	user := userOwnedBy(t, cl.r, victim)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.r.Submit(context.Background(), request(user, gated, sc.legitVA, 100))
+		done <- err
+	}()
+	waitFor(t, 10*time.Second, func() bool { return calls.Load() >= 1 })
+
+	victimIdx := 0
+	cl.nodes[victimIdx].Kill()
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("session hung after node death")
+	}
+	if !errors.Is(err, serve.ErrNodeLost) {
+		t.Fatalf("err = %v, want serve.ErrNodeLost", err)
+	}
+	var ne *serve.NodeError
+	if !errors.As(err, &ne) || ne.Node != victim {
+		t.Fatalf("err = %v, want a NodeError naming %s", err, victim)
+	}
+
+	// The failure itself demotes the node — no prober round trip needed.
+	if got := cl.r.NodeStates()[victim]; got != router.NodeDown {
+		t.Fatalf("victim state = %v after mid-session death, want down", got)
+	}
+
+	// Release the gated worker so the dead node's pool can drain later.
+	releaseOnce()
+
+	// The same user now routes to the survivor and completes.
+	owner, err := cl.r.NodeFor(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner == victim {
+		t.Fatalf("user still routed to dead node %s", victim)
+	}
+	v, err := cl.r.Submit(context.Background(), request(user, healthy.Addr(), sc.legitVA, 101))
+	if err != nil {
+		t.Fatalf("failover session: %v", err)
+	}
+	if v.Attack {
+		t.Errorf("failover session flagged legit command as attack (score %v)", v.Score)
+	}
+}
+
+// TestPartitionedNodeLink partitions the router↔node link of one node
+// (every dial refused — probes and sessions alike) while the node itself
+// stays healthy. The prober must take the node down after FailAfter
+// consecutive failures, and every session — including those whose keys
+// the partitioned node owns — must complete on the survivors.
+func TestPartitionedNodeLink(t *testing.T) {
+	sc := scenarioFor(t)
+	legit := newAgent(t, sc.legitWear) // before the cluster: cleanup is LIFO
+	hop := newHopRouter()
+	var transitions atomic.Int64
+	cl := newCluster(t, 3, nodeConfig{}, router.Config{
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		FailAfter:     2,
+		Dial:          hop.dialFunc(),
+		OnTransition: func(node string, from, to router.NodeState) {
+			if to == router.NodeDown {
+				transitions.Add(1)
+			}
+		},
+	})
+
+	partitioned := cl.ids[2]
+	// A key the partitioned node owns, captured while it is still up.
+	orphanUser := userOwnedBy(t, cl.r, partitioned)
+	hop.fault(cl.addrs[2], faults.NetSpec{Seed: faults.Mix(routerSeed, 9), RefuseDials: 1 << 30})
+
+	waitFor(t, 10*time.Second, func() bool {
+		return cl.r.NodeStates()[partitioned] == router.NodeDown
+	})
+	if transitions.Load() == 0 {
+		t.Error("down transition hook never fired")
+	}
+
+	// Sessions for the orphaned key fail over deterministically; a spread
+	// of other users completes too.
+	users := []string{orphanUser}
+	for i := 0; i < 9; i++ {
+		users = append(users, fmt.Sprintf("p-user-%d", i))
+	}
+	for i, user := range users {
+		owner, err := cl.r.NodeFor(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == partitioned {
+			t.Fatalf("user %s routed to partitioned node", user)
+		}
+		v, err := cl.r.Submit(context.Background(), request(user, legit.Addr(), sc.legitVA, uint64(200+i)))
+		if err != nil {
+			t.Fatalf("session for %s during partition: %v", user, err)
+		}
+		if v.Attack {
+			t.Errorf("session for %s: legit flagged as attack", user)
+		}
+	}
+
+	// Heal the partition: the prober promotes the node back up and the
+	// orphaned key returns home (ring ownership never changed).
+	hop.clear(cl.addrs[2])
+	waitFor(t, 10*time.Second, func() bool {
+		return cl.r.NodeStates()[partitioned] == router.NodeUp
+	})
+	owner, err := cl.r.NodeFor(orphanUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != partitioned {
+		t.Errorf("healed node did not reclaim its key: owner %s, want %s", owner, partitioned)
+	}
+	if _, err := cl.r.Submit(context.Background(), request(orphanUser, legit.Addr(), sc.legitVA, 299)); err != nil {
+		t.Fatalf("session after heal: %v", err)
+	}
+}
+
+// TestRollingDrainLosesNothing drains one node while traffic flows: mark
+// it draining (off the ring for new sessions), wait for its in-flight
+// sessions, then gracefully shut it down — all with concurrent sessions
+// arriving. Every session in the run must complete with the correct
+// verdict: zero lost, zero shed, zero typed failures.
+func TestRollingDrainLosesNothing(t *testing.T) {
+	sc := scenarioFor(t)
+	legit := newAgent(t, sc.legitWear) // before the cluster: cleanup is LIFO
+	attack := newAgent(t, sc.attackWear)
+	cl := newCluster(t, 3, nodeConfig{workers: 2, queueDepth: 64}, router.Config{
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 3,
+	})
+
+	const total = 36
+	drainAt := total / 3
+	errs := make([]error, total)
+	wrong := make([]bool, total)
+	var wg sync.WaitGroup
+	drainStarted := make(chan struct{})
+	drainDone := make(chan error, 1)
+	for i := 0; i < total; i++ {
+		if i == drainAt {
+			// Start the rolling drain mid-burst: router-side drain first
+			// (new sessions rebalance away), then the node's own ordered
+			// shutdown.
+			go func() {
+				close(drainStarted)
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := cl.r.DrainNode(ctx, cl.ids[1]); err != nil {
+					drainDone <- fmt.Errorf("DrainNode: %w", err)
+					return
+				}
+				drainDone <- cl.nodes[1].Shutdown(ctx)
+			}()
+			<-drainStarted
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := fmt.Sprintf("rolling-user-%d", i%12)
+			wantAttack := i%2 == 1
+			wear, va := legit.Addr(), sc.legitVA
+			if wantAttack {
+				wear, va = attack.Addr(), sc.attackVA
+			}
+			v, err := cl.r.Submit(context.Background(), request(user, wear, va, uint64(300+i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			wrong[i] = v.Attack != wantAttack
+		}(i)
+	}
+	wg.Wait()
+	if err := <-drainDone; err != nil {
+		t.Fatalf("rolling drain failed: %v", err)
+	}
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Errorf("session %d lost during rolling drain: %v", i, errs[i])
+		}
+		if wrong[i] {
+			t.Errorf("session %d: wrong verdict during rolling drain", i)
+		}
+	}
+	if got := cl.r.NodeStates()[cl.ids[1]]; got != router.NodeDraining {
+		t.Errorf("drained node state = %v, want draining", got)
+	}
+	if n := cl.r.InFlight(cl.ids[1]); n != 0 {
+		t.Errorf("drained node still shows %d in-flight sessions", n)
+	}
+}
+
+// TestShedPropagatesWithNodeIdentity pins typed shed propagation across
+// the hop: a node whose admission queue overflows sheds with
+// ErrOverloaded, and the router's caller sees that same sentinel wrapped
+// in a NodeError naming the shedding node. A draining node propagates
+// ErrDraining the same way.
+func TestShedPropagatesWithNodeIdentity(t *testing.T) {
+	sc := scenarioFor(t)
+	gated, calls, release := gatedAgent(t, sc.legitWear) // before the cluster: cleanup is LIFO
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
+	cl := newCluster(t, 1, nodeConfig{workers: 1, queueDepth: 1}, router.Config{
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 3,
+	})
+
+	// Fill the node: one session on the worker, one in the queue.
+	const burst = 10
+	var wg sync.WaitGroup
+	var shedSeen atomic.Int64
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := cl.r.Submit(context.Background(),
+				request(fmt.Sprintf("shed-user-%d", i), gated, sc.legitVA, uint64(400+i)))
+			errs[i] = err
+			if errors.Is(err, serve.ErrOverloaded) {
+				shedSeen.Add(1)
+			}
+		}(i)
+	}
+	waitFor(t, 10*time.Second, func() bool { return calls.Load() >= 1 })
+	// The burst outruns the depth-1 queue, so sheds surface before the
+	// gate opens; once they have, release the gate and let the admitted
+	// sessions finish. (errs itself is only read after wg.Wait.)
+	waitFor(t, 10*time.Second, func() bool { return shedSeen.Load() > 0 })
+	releaseOnce()
+	wg.Wait()
+
+	var shed, completed int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, serve.ErrOverloaded):
+			shed++
+			var ne *serve.NodeError
+			if !errors.As(err, &ne) || ne.Node != cl.ids[0] {
+				t.Errorf("session %d: shed without node identity: %v", i, err)
+			}
+		default:
+			t.Errorf("session %d: unexpected error %v", i, err)
+		}
+	}
+	if shed == 0 {
+		t.Error("no session shed: a 10-burst against queue depth 1 must overflow")
+	}
+	if completed == 0 {
+		t.Error("no session completed under overload")
+	}
+	if shed+completed != burst {
+		t.Errorf("sessions lost: shed %d + completed %d != %d", shed, completed, burst)
+	}
+
+	// Draining node: same propagation, ErrDraining flavor. Drain the only
+	// node, so the router either reports the draining node... or, since
+	// the drain removes it from the ring, the no-nodes sentinel.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.r.DrainNode(ctx, cl.ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.r.Submit(context.Background(), request("post-drain", gated, sc.legitVA, 499))
+	if !errors.Is(err, serve.ErrNoNodes) {
+		t.Fatalf("submit after draining the only node: err = %v, want serve.ErrNoNodes", err)
+	}
+}
+
+// TestFinalVerdictSurvivesHalfCloseThroughRouter is the two-hop drain
+// regression: the single-node suite already pins that a verdict survives
+// the server's half-close; here the session is in flight across BOTH hops
+// (client → router front-door → node) when the router and then the node
+// begin draining, and the final verdict must still arrive at the client
+// over the half-closed chain.
+func TestFinalVerdictSurvivesHalfCloseThroughRouter(t *testing.T) {
+	sc := scenarioFor(t)
+	gated, calls, release := gatedAgent(t, sc.legitWear) // before the cluster: cleanup is LIFO
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
+	cl := newCluster(t, 1, nodeConfig{}, router.Config{
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 3,
+	})
+
+	addr, err := cl.r.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := serve.DialServer(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	type reply struct {
+		attack bool
+		err    error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		v, err := client.Inspect(request("halfclose-user", gated, sc.legitVA, 500))
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		got <- reply{attack: v.Attack}
+	}()
+	waitFor(t, 10*time.Second, func() bool { return calls.Load() >= 1 })
+
+	// Drain the router first, then the node — the rolling-restart order.
+	// Both block on the gated in-flight session.
+	routerDone := make(chan error, 1)
+	nodeDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		routerDone <- cl.r.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		nodeDone <- cl.nodes[0].Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// Nothing may have returned yet: the verdict is still gated.
+	select {
+	case r := <-got:
+		t.Fatalf("client returned (%+v) before the in-flight session finished", r)
+	default:
+	}
+
+	releaseOnce()
+	if err := <-routerDone; err != nil {
+		t.Fatalf("router shutdown: %v", err)
+	}
+	if err := <-nodeDone; err != nil {
+		t.Fatalf("node shutdown: %v", err)
+	}
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("in-flight verdict lost through the router hop: %v", r.err)
+		}
+		if r.attack {
+			t.Error("legitimate in-flight session flagged as attack")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight verdict never arrived through the router hop")
+	}
+
+	// Both tiers now reject new sessions typed.
+	if _, err := cl.r.Submit(context.Background(), request("late", gated, sc.legitVA, 501)); !errors.Is(err, serve.ErrDraining) {
+		t.Errorf("submit after router drain: err = %v, want ErrDraining", err)
+	}
+}

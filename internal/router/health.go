@@ -1,0 +1,60 @@
+package router
+
+import (
+	"time"
+
+	"vibguard/internal/serve"
+)
+
+// Health checking: every registered node gets a prober goroutine that
+// periodically dials a fresh connection and performs one protocol-level
+// ping/pong (serve.PingConn). A fresh dial per probe is deliberate — it
+// detects a partitioned router↔node link even while an established
+// session connection lingers, and it exercises the same dial path (and
+// fault injectors) sessions use. FailAfter consecutive failures demote an
+// up node to NodeDown; one success promotes a down node back to NodeUp.
+// Draining nodes are still probed but never leave NodeDraining.
+
+// probeLoop drives one node's health checks until the router stops it.
+func (r *Router) probeLoop(n *node) {
+	defer close(n.probeDone)
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.probeStop:
+			return
+		case <-ticker.C:
+			r.noteProbe(n, r.probe(n) == nil)
+		}
+	}
+}
+
+// probe performs one dial + ping round trip against the node.
+func (r *Router) probe(n *node) error {
+	conn, err := r.cfg.Dial(n.addr, r.cfg.ProbeTimeout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	return serve.PingConn(conn, r.cfg.ProbeTimeout)
+}
+
+// noteProbe applies one probe outcome to the node's health state.
+func (r *Router) noteProbe(n *node, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	metProbes.Inc()
+	if !ok {
+		metProbeFailures.Inc()
+		n.failures++
+		if n.state == NodeUp && n.failures >= r.cfg.FailAfter {
+			r.transitionLocked(n, NodeDown)
+		}
+		return
+	}
+	n.failures = 0
+	if n.state == NodeDown {
+		r.transitionLocked(n, NodeUp)
+	}
+}

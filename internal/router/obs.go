@@ -1,0 +1,21 @@
+package router
+
+import "vibguard/internal/obs"
+
+// Router instrumentation, in the process-wide registry next to the serve
+// and syncnet metrics (DESIGN.md section 10). Counters split routing
+// outcomes (routed / completed / failed / node_lost / rejected) from
+// health-probe activity and up/down transitions; the gauge tracks the
+// registered fleet size.
+var (
+	metSessionsRouted    = obs.Default().Counter("router.sessions.routed")
+	metSessionsCompleted = obs.Default().Counter("router.sessions.completed")
+	metSessionsFailed    = obs.Default().Counter("router.sessions.failed")
+	metSessionsNodeLost  = obs.Default().Counter("router.sessions.node_lost")
+	metSessionsRejected  = obs.Default().Counter("router.sessions.rejected")
+	metProbes            = obs.Default().Counter("router.probes.total")
+	metProbeFailures     = obs.Default().Counter("router.probes.failed")
+	metNodeUp            = obs.Default().Counter("router.node.transitions_up")
+	metNodeDown          = obs.Default().Counter("router.node.transitions_down")
+	gaugeNodes           = obs.Default().Gauge("router.nodes.registered")
+)

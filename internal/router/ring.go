@@ -1,0 +1,140 @@
+// Package router is the fleet front-door: it consistent-hashes sessions
+// by wearable/user id onto N registered serve nodes, health-checks every
+// node with periodic protocol-level probes (typed up/down transitions),
+// propagates typed sheds across hops (ErrOverloaded/ErrDraining from a
+// node reach the router's client wrapped in a serve.NodeError carrying
+// the node identity), and rebalances drain-aware: a draining node leaves
+// the ring for new sessions while its in-flight ones finish.
+//
+// Both hops — client→router and router→node — speak the framed binary
+// protocol of internal/serve (wire.go), with connection multiplexing, so
+// the router holds exactly one TCP connection per healthy node no matter
+// how many sessions it carries.
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each node
+// contributes vnodes points placed by hashing "id#i"; a key is owned by
+// the first point clockwise from the key's own hash. Removing a node
+// removes only its points, so only keys owned by the removed node remap —
+// the survivors' keys never shuffle among themselves (pinned by the
+// 1k-trial property test).
+//
+// Ring is not safe for concurrent use; Router guards it with its lock.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates an empty ring with the given virtual-node count per
+// node (values < 1 become 64, a good balance/size tradeoff for fleets of
+// tens of nodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+// hashKey positions a key (or virtual-node label) on the ring: FNV-1a
+// finished with the SplitMix64 finalizer (the repo's standard mixer, cf.
+// faults.Mix). FNV alone clusters short sequential labels like "n0#17" on
+// one arc; the finalizer decorrelates them. Deterministic across
+// processes and Go versions, so routing stays stable across a fleet of
+// independently restarted routers.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Add places a node's virtual points on the ring. Adding a present node
+// is a no-op.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: hashKey(node + "#" + strconv.Itoa(i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node's virtual points. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns the node owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.at(key)].node
+}
+
+// Successors returns the owner of key followed by each remaining node in
+// ring order — the failover walk for down nodes: the owner first, then
+// deterministic, key-dependent alternates.
+func (r *Ring) Successors(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]struct{}, len(r.nodes))
+	start := r.at(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := seen[p.node]; ok {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// at finds the index of the first point clockwise from key's hash.
+func (r *Ring) at(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,141 @@
+package router_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/router"
+)
+
+// TestRingDeterministicLookup pins that ownership is a pure function of
+// the (node set, key) pair: two independently built rings agree on every
+// key, regardless of insertion order.
+func TestRingDeterministicLookup(t *testing.T) {
+	a := router.NewRing(64)
+	b := router.NewRing(64)
+	nodes := []string{"alpha", "beta", "gamma", "delta"}
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	for i := len(nodes) - 1; i >= 0; i-- {
+		b.Add(nodes[i])
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		if got, want := a.Lookup(key), b.Lookup(key); got != want {
+			t.Fatalf("key %q: insertion order changed owner %q vs %q", key, got, want)
+		}
+	}
+}
+
+// TestRingSuccessorsStartWithOwner pins the failover walk contract: the
+// first successor is the owner, every registered node appears exactly
+// once, and the walk is deterministic per key.
+func TestRingSuccessorsStartWithOwner(t *testing.T) {
+	r := router.NewRing(32)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("w-%d", i)
+		succ := r.Successors(key)
+		if len(succ) != 5 {
+			t.Fatalf("key %q: %d successors, want 5", key, len(succ))
+		}
+		if succ[0] != r.Lookup(key) {
+			t.Fatalf("key %q: walk starts at %q, owner is %q", key, succ[0], r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("key %q: node %q repeated in walk", key, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingConsistencyUnderRemoval is the ring-consistency property test:
+// across 1000 seeded trials with random node sets, removing one node
+// remaps ONLY that node's keys — every key owned by a survivor keeps its
+// owner (no shuffling among survivors), and every orphaned key lands on
+// some survivor.
+func TestRingConsistencyUnderRemoval(t *testing.T) {
+	const trials = 1000
+	const keysPerTrial = 100
+	rng := rand.New(rand.NewSource(routerSeed))
+	for trial := 0; trial < trials; trial++ {
+		nodeCount := 2 + rng.Intn(11)    // 2..12 nodes
+		vnodes := 1 << (3 + rng.Intn(4)) // 8..64 virtual nodes
+		r := router.NewRing(vnodes)
+		nodes := make([]string, nodeCount)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("t%d-node%d", trial, i)
+			r.Add(nodes[i])
+		}
+
+		keys := make([]string, keysPerTrial)
+		before := make([]string, keysPerTrial)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("t%d-user%d", trial, rng.Int63())
+			before[i] = r.Lookup(keys[i])
+			if before[i] == "" {
+				t.Fatalf("trial %d: empty owner with %d nodes", trial, nodeCount)
+			}
+		}
+
+		removed := nodes[rng.Intn(nodeCount)]
+		r.Remove(removed)
+		if r.Len() != nodeCount-1 {
+			t.Fatalf("trial %d: ring has %d nodes after removal, want %d", trial, r.Len(), nodeCount-1)
+		}
+		for i, key := range keys {
+			after := r.Lookup(key)
+			if before[i] == removed {
+				if after == removed || after == "" {
+					t.Fatalf("trial %d: orphaned key %q still maps to %q", trial, key, after)
+				}
+				continue
+			}
+			if after != before[i] {
+				t.Fatalf("trial %d: removing %q shuffled survivor key %q from %q to %q",
+					trial, removed, key, before[i], after)
+			}
+		}
+
+		// Re-adding the removed node restores the original assignment
+		// exactly — ownership is a pure function of the node set.
+		r.Add(removed)
+		for i, key := range keys {
+			if got := r.Lookup(key); got != before[i] {
+				t.Fatalf("trial %d: re-adding %q did not restore key %q (got %q, want %q)",
+					trial, removed, key, got, before[i])
+			}
+		}
+	}
+}
+
+// TestRingBalance sanity-checks virtual-node spreading: with 64 vnodes
+// and 4 nodes, no node owns more than half of 10k random keys.
+func TestRingBalance(t *testing.T) {
+	r := router.NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	for node, c := range counts {
+		if c > 5000 {
+			t.Errorf("node %s owns %d/10000 keys — ring badly unbalanced", node, c)
+		}
+		if c == 0 {
+			t.Errorf("node %s owns no keys", node)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d nodes own keys, want 4", len(counts))
+	}
+}

@@ -1,0 +1,234 @@
+package router_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vibguard/internal/acoustics"
+	"vibguard/internal/core"
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+	"vibguard/internal/phoneme"
+	"vibguard/internal/router"
+	"vibguard/internal/segment"
+	"vibguard/internal/selection"
+	"vibguard/internal/serve"
+	"vibguard/internal/syncnet"
+)
+
+// The router suite drives the full two-hop stack — client → router
+// front-door (TCP) → serve node (TCP) → worker → syncnet wearable fetch
+// (TCP) → Inspect — under the race detector, with chaos injected at the
+// router↔node hop via internal/faults. All randomness is pinned
+// (per-session via Request.RNGSeed), so every test is deterministic under
+// arbitrary scheduling, and verdicts are bit-comparable to a single-node
+// run of the same seeded scenario.
+
+const routerSeed = 2028
+
+// routerScenario holds one synthesized command heard through both
+// acoustic paths, built once and shared read-only by every test.
+type routerScenario struct {
+	spans      []segment.Span
+	legitVA    []float64
+	legitWear  []float64
+	attackVA   []float64
+	attackWear []float64
+}
+
+var (
+	scnOnce sync.Once
+	scn     *routerScenario
+	scnErr  error
+)
+
+func scenarioFor(t *testing.T) *routerScenario {
+	t.Helper()
+	scnOnce.Do(func() { scn, scnErr = buildRouterScenario() })
+	if scnErr != nil {
+		t.Fatal(scnErr)
+	}
+	return scn
+}
+
+func buildRouterScenario() (*routerScenario, error) {
+	rng := rand.New(rand.NewSource(routerSeed))
+	synth, err := phoneme.NewSynthesizer(phoneme.NewStudioVoicePool(1, routerSeed)[0])
+	if err != nil {
+		return nil, err
+	}
+	utt, err := synth.Synthesize(phoneme.Commands()[1])
+	if err != nil {
+		return nil, err
+	}
+	spans := segment.OracleSpans(utt, selection.CanonicalSelected())
+	room, err := acoustics.RoomByName("A")
+	if err != nil {
+		return nil, err
+	}
+	transmit := func(spl, dist float64, barrier bool) ([]float64, error) {
+		return room.Transmit(utt.Samples, acoustics.PathConfig{
+			SourceSPL: spl, DistanceM: dist, ThroughBarrier: barrier, SampleRate: 16000,
+		}, rng)
+	}
+	legitVA, err := transmit(72, 1.5, false)
+	if err != nil {
+		return nil, err
+	}
+	legitNear, err := transmit(72, 0.3, false)
+	if err != nil {
+		return nil, err
+	}
+	attackVA, err := transmit(80, 2.1, true)
+	if err != nil {
+		return nil, err
+	}
+	attackNear, err := transmit(80, 2.4, true)
+	if err != nil {
+		return nil, err
+	}
+	return &routerScenario{
+		spans:      spans,
+		legitVA:    legitVA,
+		legitWear:  syncnet.SimulateNetworkDelay(legitNear, 0.1, 16000, rng),
+		attackVA:   attackVA,
+		attackWear: syncnet.SimulateNetworkDelay(attackNear, 0.08, 16000, rng),
+	}, nil
+}
+
+// defenseFactory builds one worker's private Defense from the scenario's
+// oracle spans (cheap, no BRNN training).
+func (sc *routerScenario) defenseFactory() func() (*core.Defense, error) {
+	return func() (*core.Defense, error) {
+		clone := *device.NewFossilGen5()
+		return core.NewDefense(core.DefaultConfig(&clone, &detector.StaticSegmenter{Spans: sc.spans}))
+	}
+}
+
+// newAgent starts a wearable agent serving a fixed recording.
+func newAgent(t *testing.T, rec []float64) *syncnet.WearableAgent {
+	t.Helper()
+	agent, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) { return rec, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	return agent
+}
+
+// gatedAgent starts a wearable agent whose RecordFunc blocks until
+// release closes, so in-flight sessions stay in flight on demand.
+func gatedAgent(t *testing.T, rec []float64) (addr string, calls *atomic.Int64, release chan struct{}) {
+	t.Helper()
+	calls = new(atomic.Int64)
+	release = make(chan struct{})
+	agent, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) {
+		calls.Add(1)
+		<-release
+		return rec, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	return agent.Addr(), calls, release
+}
+
+// fastRetries keeps the wearable-fetch transport snappy in tests.
+func fastRetries() syncnet.RetryPolicy {
+	return syncnet.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 2}
+}
+
+// cluster is a router fronting n live serve nodes, all with registered
+// cleanup.
+type cluster struct {
+	r     *router.Router
+	nodes []*serve.Server
+	ids   []string
+	addrs []string
+}
+
+// nodeConfig is one chaos knob set for newCluster.
+type nodeConfig struct {
+	workers    int
+	queueDepth int
+}
+
+// newCluster boots n serve nodes and a router with all of them
+// registered (ids "node0".."nodeN-1"). rcfg.Dial routes the router→node
+// hop, so tests can interpose fault injectors per node address.
+func newCluster(t *testing.T, n int, nc nodeConfig, rcfg router.Config) *cluster {
+	t.Helper()
+	sc := scenarioFor(t)
+	if nc.workers == 0 {
+		nc.workers = 2
+	}
+	if nc.queueDepth == 0 {
+		nc.queueDepth = 64
+	}
+	cl := &cluster{r: router.New(rcfg)}
+	for i := 0; i < n; i++ {
+		srv, err := serve.NewServer(serve.Config{
+			NewDefense:     sc.defenseFactory(),
+			Workers:        nc.workers,
+			QueueDepth:     nc.queueDepth,
+			SessionTimeout: time.Minute,
+			Seed:           routerSeed,
+			RetryPolicy:    fastRetries(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("node%d", i)
+		if err := cl.r.Register(id, addr); err != nil {
+			t.Fatal(err)
+		}
+		cl.nodes = append(cl.nodes, srv)
+		cl.ids = append(cl.ids, id)
+		cl.addrs = append(cl.addrs, addr)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = cl.r.Shutdown(ctx)
+		for _, srv := range cl.nodes {
+			_ = srv.Shutdown(ctx)
+		}
+	})
+	return cl
+}
+
+// request builds the seeded session i against a wearable address. The
+// per-session RNGSeed is a pure function of (routerSeed, i), so the same
+// i produces bit-identical verdicts on any node — or with no router at
+// all.
+func request(user string, wearAddr string, va []float64, i uint64) serve.Request {
+	return serve.Request{
+		UserID:       user,
+		WearableAddr: wearAddr,
+		VARecording:  va,
+		RNGSeed:      serve.SessionSeed(routerSeed, i),
+	}
+}
+
+// waitFor polls cond until it holds or the deadline trips.
+func waitFor(t *testing.T, limit time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

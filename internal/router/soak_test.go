@@ -1,0 +1,176 @@
+package router_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"vibguard/internal/obs"
+	"vibguard/internal/router"
+	"vibguard/internal/serve"
+)
+
+// routerSoakSessions is the 3-node soak size: every session crosses both
+// hops (client → router front-door → node) simultaneously with the
+// others, under -race in CI.
+const routerSoakSessions = 48
+
+// routerFleet mirrors the serve soak's wearable fleet: half the agents
+// heard a legitimate command, half a thru-barrier replay. Each session
+// also carries a user id, so the router spreads the fleet's tenants over
+// the ring.
+type routerFleet struct {
+	addrs        []string
+	expectAttack []bool
+	va           [][]float64
+}
+
+func newRouterFleet(t *testing.T, wearables int) *routerFleet {
+	t.Helper()
+	sc := scenarioFor(t)
+	f := &routerFleet{}
+	for j := 0; j < wearables; j++ {
+		attack := j%2 == 1
+		wear, va := sc.legitWear, sc.legitVA
+		if attack {
+			wear, va = sc.attackWear, sc.attackVA
+		}
+		agent := newAgent(t, wear)
+		f.addrs = append(f.addrs, agent.Addr())
+		f.expectAttack = append(f.expectAttack, attack)
+		f.va = append(f.va, va)
+	}
+	return f
+}
+
+// session returns the seeded request and expected verdict of soak
+// session i. Sixteen users share the fleet, so several users multiplex
+// onto each node and each front-door connection.
+func (f *routerFleet) session(i int) (serve.Request, bool) {
+	j := i % len(f.addrs)
+	req := request(userName(i), f.addrs[j], f.va[j], uint64(i))
+	return req, f.expectAttack[j]
+}
+
+func userName(i int) string { return "soak-user-" + string(rune('a'+i%16)) }
+
+// TestSoakThreeNodeCluster is the race-gated cluster soak: 48
+// simultaneous sessions from 4 multiplexed front-door clients through the
+// router onto 3 nodes, against an 8-wearable fleet. The single-node
+// soak's accounting contract holds across the extra hop — none lost, none
+// double-assigned (a duplicate stream response kills its connection, so
+// it would surface as lost sessions), zero shed with the queues sized for
+// the burst — and every healthy node's verdict is bit-identical to a
+// single-node run of the same seeded session, router or no router.
+func TestSoakThreeNodeCluster(t *testing.T) {
+	before := obs.Default().Snapshot()
+	fleet := newRouterFleet(t, 8)
+	cl := newCluster(t, 3, nodeConfig{workers: 4, queueDepth: routerSoakSessions}, router.Config{
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 3,
+	})
+	addr, err := cl.r.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 clients, 12 sessions each: the front door multiplexes many
+	// concurrent sessions per TCP connection.
+	const clients = 4
+	pool := make([]*serve.Client, clients)
+	for c := range pool {
+		pool[c], err = serve.DialServer(addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func(c *serve.Client) { _ = c.Close() }(pool[c])
+	}
+
+	type outcome struct {
+		attack bool
+		raw    uint64 // score bits, for the bit-identical cross-check
+		err    error
+	}
+	results := make([]outcome, routerSoakSessions)
+	var wg sync.WaitGroup
+	for i := 0; i < routerSoakSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, _ := fleet.session(i)
+			v, err := pool[i%clients].Inspect(req)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			results[i] = outcome{attack: v.Attack, raw: math.Float64bits(v.Score)}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		_, expectAttack := fleet.session(i)
+		if res.err != nil {
+			t.Errorf("session %d lost: %v", i, res.err)
+			continue
+		}
+		score := math.Float64frombits(res.raw)
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			t.Errorf("session %d: non-finite score %v", i, score)
+		}
+		if res.attack != expectAttack {
+			t.Errorf("session %d: attack=%v (score %v), want %v", i, res.attack, score, expectAttack)
+		}
+	}
+
+	// Bit-identical cross-check: replay every seeded session against a
+	// standalone single node (no router, direct Submit) and compare score
+	// bits. Verdicts are a pure function of (recordings, RNGSeed), so the
+	// node a session landed on must not matter.
+	sc := scenarioFor(t)
+	solo, err := serve.NewServer(serve.Config{
+		NewDefense:     sc.defenseFactory(),
+		Workers:        4,
+		QueueDepth:     routerSoakSessions,
+		SessionTimeout: time.Minute,
+		Seed:           routerSeed,
+		RetryPolicy:    fastRetries(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = solo.Shutdown(ctx)
+	}()
+	for i, res := range results {
+		if res.err != nil {
+			continue
+		}
+		req, _ := fleet.session(i)
+		v, err := solo.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatalf("single-node replay of session %d: %v", i, err)
+		}
+		if got := math.Float64bits(v.Score); got != res.raw {
+			t.Errorf("session %d: cluster score bits %#x != single-node %#x — verdict depends on placement",
+				i, res.raw, got)
+		}
+		if v.Attack != res.attack {
+			t.Errorf("session %d: cluster attack=%v, single-node attack=%v", i, res.attack, v.Attack)
+		}
+	}
+
+	after := obs.Default().Snapshot()
+	if got := after.Counters["router.sessions.routed"] - before.Counters["router.sessions.routed"]; got < routerSoakSessions {
+		t.Errorf("routed counter rose by %d, want >= %d", got, routerSoakSessions)
+	}
+	if got := after.Counters["router.sessions.completed"] - before.Counters["router.sessions.completed"]; got < routerSoakSessions {
+		t.Errorf("completed counter rose by %d, want >= %d", got, routerSoakSessions)
+	}
+	if got := after.Counters["router.sessions.rejected"] - before.Counters["router.sessions.rejected"]; got != 0 {
+		t.Errorf("queues sized for the burst, but %d sessions rejected at the router", got)
+	}
+}

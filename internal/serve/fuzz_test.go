@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame is the wire-protocol fuzz target. The decoding
+// contract (wire.go): any byte stream either decodes into a frame or
+// fails with one of the typed errors — ErrUnknownVersion,
+// ErrUnknownFrameType, ErrFrameTooLarge, ErrMalformedFrame, io.EOF, or
+// io.ErrUnexpectedEOF — and a declared payload length is never trusted
+// before it is checked against both MaxFramePayload and the bytes
+// actually present, so hostile lengths (a 2^60 uvarint) neither panic
+// nor allocate. Successful decodes must round-trip bit-exactly through
+// AppendFrame, and the streaming decoder (ReadFrame) must agree with the
+// in-memory one on every input.
+//
+// Seeds live in testdata/fuzz/FuzzDecodeFrame; `make fuzz` runs the
+// target for real.
+func FuzzDecodeFrame(f *testing.F) {
+	// A valid frame of every type, plus the documented failure shapes.
+	f.Add(AppendFrame(nil, Frame{Type: FramePing, Stream: 1}))
+	f.Add(AppendFrame(nil, Frame{Type: FramePong, Stream: 1}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameRequest, Stream: 7, Payload: AppendRequestPayload(nil, Request{
+		UserID:       "user-1",
+		WearableAddr: "127.0.0.1:9000",
+		VARecording:  []float64{0.25, -0.5, 1e-3},
+		RNGSeed:      42,
+	})}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameVerdict, Stream: 3, Payload: AppendVerdictPayload(nil, wireVerdict{
+		Score: 0.75, Attack: true, SyncOffset: -160, Spans: 4,
+	})}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameError, Stream: 9, Payload: AppendErrorPayload(nil,
+		&NodeError{Node: "node2", Err: ErrOverloaded})}))
+	f.Add([]byte{})                                            // clean EOF
+	f.Add([]byte{WireVersion})                                 // truncated after version
+	f.Add([]byte{0xff, 0x01})                                  // unknown version
+	f.Add([]byte{WireVersion, 0x00})                           // unknown frame type (low)
+	f.Add([]byte{WireVersion, 0x63})                           // unknown frame type (high)
+	f.Add([]byte{WireVersion, FramePing, 0x80})                // truncated stream varint
+	f.Add([]byte{WireVersion, FrameVerdict, 0x01, 0x05, 0xaa}) // payload shorter than declared
+	// Oversized payload length: uvarint 2^60 must be rejected before any
+	// allocation is sized from it.
+	f.Add([]byte{WireVersion, FrameRequest, 0x01,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10})
+	// Overlong varint (11 continuation bytes) in the stream id.
+	f.Add([]byte{WireVersion, FramePing,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02})
+	// Two back-to-back frames: DecodeFrame must report the exact boundary.
+	f.Add(AppendFrame(AppendFrame(nil, Frame{Type: FramePing, Stream: 5}),
+		Frame{Type: FramePong, Stream: 5}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownVersion) &&
+				!errors.Is(err, ErrUnknownFrameType) &&
+				!errors.Is(err, ErrFrameTooLarge) &&
+				!errors.Is(err, ErrMalformedFrame) &&
+				!errors.Is(err, io.EOF) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			// The streaming decoder may differ on which typed error it
+			// reports for garbage (it cannot rewind), but it must also fail.
+			if _, rerr := ReadFrame(bufio.NewReader(bytes.NewReader(data))); rerr == nil {
+				t.Fatalf("DecodeFrame failed (%v) but ReadFrame accepted the same bytes", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if frame.Type < FrameRequest || frame.Type > FramePong {
+			t.Fatalf("decoded out-of-range frame type %d", frame.Type)
+		}
+		if len(frame.Payload) > MaxFramePayload {
+			t.Fatalf("decoded payload of %d bytes exceeds MaxFramePayload", len(frame.Payload))
+		}
+
+		// Round trip: re-encoding the decoded frame reproduces the
+		// consumed bytes exactly (the encoding is canonical for the
+		// canonical varint forms the encoder emits; the fuzzer finding a
+		// non-canonical input that still decodes is fine as long as the
+		// re-encode decodes back to the same frame).
+		re := AppendFrame(nil, frame)
+		frame2, n2, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if n2 != len(re) {
+			t.Fatalf("re-encoded frame left %d trailing bytes", len(re)-n2)
+		}
+		if frame2.Type != frame.Type || frame2.Stream != frame.Stream || !bytes.Equal(frame2.Payload, frame.Payload) {
+			t.Fatalf("round trip changed the frame: %+v vs %+v", frame, frame2)
+		}
+
+		// The streaming decoder agrees with the in-memory one.
+		rframe, rerr := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if rerr != nil {
+			t.Fatalf("DecodeFrame accepted bytes ReadFrame rejects: %v", rerr)
+		}
+		if rframe.Type != frame.Type || rframe.Stream != frame.Stream || !bytes.Equal(rframe.Payload, frame.Payload) {
+			t.Fatalf("ReadFrame decoded %+v, DecodeFrame %+v", rframe, frame)
+		}
+
+		// Typed payloads must also decode or fail typed — never panic.
+		switch frame.Type {
+		case FrameRequest:
+			if _, perr := DecodeRequestPayload(frame.Payload); perr != nil && !errors.Is(perr, ErrMalformedFrame) {
+				t.Fatalf("untyped request payload error: %v", perr)
+			}
+		case FrameVerdict:
+			if _, perr := DecodeVerdictPayload(frame.Payload); perr != nil && !errors.Is(perr, ErrMalformedFrame) {
+				t.Fatalf("untyped verdict payload error: %v", perr)
+			}
+		case FrameError:
+			if _, perr := DecodeErrorPayload(frame.Payload); perr != nil && !errors.Is(perr, ErrMalformedFrame) {
+				t.Fatalf("untyped error payload error: %v", perr)
+			}
+		}
+	})
+}

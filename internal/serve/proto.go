@@ -1,54 +1,25 @@
 package serve
 
 import (
-	"context"
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"net"
-	"sync"
-	"time"
 
 	"vibguard/internal/core"
 	"vibguard/internal/detector"
 	"vibguard/internal/syncnet"
 )
 
-// The front-end wire protocol mirrors the syncnet transport: length-free
-// gob frames over TCP, one request/response pair at a time per
-// connection. Clients that want concurrent sessions open several
-// connections — that keeps per-connection state trivial and lets the
-// drain half-close each connection knowing at most one response is in
-// flight on it.
+// Error-kind vocabulary of the wire protocol and the typed-sentinel
+// mapping shared by the binary codec (wire.go) and the retired gob codec
+// below. Failures cross the wire as stable kinds that the client maps
+// back to the same typed sentinels, so errors.Is/As work across the wire
+// exactly as they do in-process.
 
-// wireRequest is one session submission frame.
-type wireRequest struct {
-	// ID correlates the response; chosen by the client.
-	ID uint64
-	// WearableAddr, VASamples, RNGSeed mirror Request.
-	WearableAddr string
-	VASamples    []float64
-	RNGSeed      int64
-}
-
-// wireResponse is one verdict (or typed failure) frame.
-type wireResponse struct {
-	ID uint64
-	OK bool
-	// Verdict fields (OK only). Spans carries the span count; the spans
-	// themselves stay server-side.
-	Score      float64
-	Attack     bool
-	SyncOffset int
-	Spans      int
-	// ErrKind and Err describe the failure (!OK only). ErrKind is one of
-	// the kind* constants so clients recover typed errors.
-	ErrKind string
-	Err     string
-}
-
-// Error kinds of the wire protocol. Stable strings, not iota: both ends
-// may be rebuilt independently.
+// Error kinds. Stable strings, not iota: both ends may be rebuilt
+// independently. The binary protocol sends the code* constants instead;
+// codeToKind in wire.go ties the two vocabularies together.
 const (
 	kindOverloaded   = "overloaded"
 	kindDraining     = "draining"
@@ -58,13 +29,50 @@ const (
 	kindNonFinite    = "nonfinite_score"
 	kindBadRecording = "bad_recording"
 	kindInternal     = "internal"
+	kindNodeLost     = "node_lost"
+	kindNoNodes      = "no_nodes"
 )
+
+// Routing-tier sentinels. They live here, next to the rest of the wire
+// error vocabulary, because the wire protocol must carry them between a
+// router front-door and its clients; internal/router returns them.
+var (
+	// ErrNodeLost reports that the serving node died (or its link reset)
+	// while the session was in flight. The session's verdict, if any, is
+	// unrecoverable; the caller owns the retry decision.
+	ErrNodeLost = errors.New("serve: node lost mid-session")
+	// ErrNoNodes reports that no healthy node was available to take the
+	// session.
+	ErrNoNodes = errors.New("serve: no healthy nodes")
+)
+
+// NodeError attributes a session failure to a named serving node — the
+// router wraps every per-node failure in one, so a shed (ErrOverloaded,
+// ErrDraining) or a lost node surfaces to the router's client with the
+// node identity attached. Unwrap exposes the inner sentinel to
+// errors.Is/As.
+type NodeError struct {
+	// Node is the failing node's registered id.
+	Node string
+	// Err is the underlying typed error.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *NodeError) Error() string { return "node " + e.Node + ": " + e.Err.Error() }
+
+// Unwrap exposes the wrapped error.
+func (e *NodeError) Unwrap() error { return e.Err }
 
 // errKind classifies a session error for the wire.
 func errKind(err error) string {
 	var wearErr *syncnet.WearableError
 	var issue *core.RecordingIssue
 	switch {
+	case errors.Is(err, ErrNodeLost):
+		return kindNodeLost
+	case errors.Is(err, ErrNoNodes):
+		return kindNoNodes
 	case errors.Is(err, ErrOverloaded):
 		return kindOverloaded
 	case errors.Is(err, ErrDraining):
@@ -112,152 +120,75 @@ func remoteError(kind, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", detector.ErrNonFiniteScore, msg)
 	case kindWearable:
 		return &syncnet.WearableError{Msg: msg}
+	case kindNodeLost:
+		return fmt.Errorf("%w (remote: %s)", ErrNodeLost, msg)
+	case kindNoNodes:
+		return fmt.Errorf("%w (remote: %s)", ErrNoNodes, msg)
 	default:
 		return &RemoteError{Kind: kind, Msg: msg}
 	}
 }
 
-// Listen mounts the session front-end on addr and returns the resolved
-// listen address. One listener per server; sessions arriving over it run
-// through the same admission queue as Submit.
-func (s *Server) Listen(addr string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.state != stateRunning {
-		return "", ErrDraining
-	}
-	if s.listener != nil {
-		return "", fmt.Errorf("serve: already listening on %s", s.listener.Addr())
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("serve: listen: %w", err)
-	}
-	s.listener = ln
-	s.acceptWG.Add(1)
-	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+// --- Legacy gob codec ------------------------------------------------
+//
+// The original front-end spoke gob: one wireRequest/wireResponse pair at
+// a time per connection, with gob's per-connection type negotiation paid
+// on every fresh connection. The serving path now speaks the framed
+// binary protocol (wire.go, mux.go); this codec is retained only so the
+// equivalence suite can pin that every typed error kind and a verdict
+// round-trip through BOTH codecs to identical client-side sentinels —
+// the cutover stays pinned until the gob path is deleted outright.
+
+// wireRequest is one legacy session submission frame.
+type wireRequest struct {
+	// ID correlates the response; chosen by the client.
+	ID uint64
+	// WearableAddr, VASamples, RNGSeed mirror Request.
+	WearableAddr string
+	VASamples    []float64
+	RNGSeed      int64
 }
 
-// Addr returns the front-end listen address ("" before Listen).
-func (s *Server) Addr() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.listener == nil {
-		return ""
-	}
-	return s.listener.Addr().String()
+// wireResponse is one legacy verdict (or typed failure) frame.
+type wireResponse struct {
+	ID uint64
+	OK bool
+	// Verdict fields (OK only). Spans carries the span count; the spans
+	// themselves stay server-side.
+	Score      float64
+	Attack     bool
+	SyncOffset int
+	Spans      int
+	// ErrKind and Err describe the failure (!OK only).
+	ErrKind string
+	Err     string
 }
 
-func (s *Server) acceptLoop(ln net.Listener) {
-	defer s.acceptWG.Done()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.state != stateRunning {
-			s.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.connWG.Add(1)
-		s.mu.Unlock()
-		go s.handleConn(conn)
+// gobEncodeSession encodes one request/response pair the way the legacy
+// front-end did on a fresh connection: a new encoder per direction, so
+// the buffer includes gob's type-descriptor negotiation — the per-session
+// cost the binary protocol removes.
+func gobEncodeSession(req wireRequest, resp wireResponse) (reqBuf, respBuf []byte, err error) {
+	var rb, pb bytes.Buffer
+	if err := gob.NewEncoder(&rb).Encode(&req); err != nil {
+		return nil, nil, err
 	}
+	if err := gob.NewEncoder(&pb).Encode(&resp); err != nil {
+		return nil, nil, err
+	}
+	return rb.Bytes(), pb.Bytes(), nil
 }
 
-// handleConn serves one front-end connection: decode a session, run it
-// through Submit, encode the verdict, repeat until the peer (or the
-// drain's half-close) ends the stream.
-func (s *Server) handleConn(conn net.Conn) {
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		_ = conn.Close()
-		s.connWG.Done()
-	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req wireRequest
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		verdict, err := s.Submit(context.Background(), Request{
-			WearableAddr: req.WearableAddr,
-			VARecording:  req.VASamples,
-			RNGSeed:      req.RNGSeed,
-		})
-		resp := wireResponse{ID: req.ID}
-		if err != nil {
-			resp.ErrKind = errKind(err)
-			resp.Err = err.Error()
-		} else {
-			resp.OK = true
-			resp.Score = verdict.Score
-			resp.Attack = verdict.Attack
-			resp.SyncOffset = verdict.SyncOffset
-			resp.Spans = len(verdict.Spans)
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-	}
-}
-
-// Client is a VA-side client of the session front-end. One Client issues
-// one session at a time (Inspect holds an internal lock); open several
-// clients for concurrent sessions.
-type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-
-	mu   sync.Mutex
-	next uint64
-}
-
-// DialServer connects to a session front-end.
-func DialServer(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("serve: dial: %w", err)
-	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
-}
-
-// Close closes the client connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Inspect submits one session and blocks until the verdict arrives. The
-// returned verdict carries no spans (only their count crosses the wire);
-// failures come back as the same typed errors Submit returns.
-func (c *Client) Inspect(req Request) (*core.Verdict, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.next++
-	id := c.next
-	if err := c.enc.Encode(&wireRequest{
-		ID:           id,
-		WearableAddr: req.WearableAddr,
-		VASamples:    req.VARecording,
-		RNGSeed:      req.RNGSeed,
-	}); err != nil {
-		return nil, fmt.Errorf("serve: send session: %w", err)
-	}
+// gobDecodeSession decodes the pair with fresh decoders, mirroring the
+// legacy client.
+func gobDecodeSession(reqBuf, respBuf []byte) (wireRequest, wireResponse, error) {
+	var req wireRequest
 	var resp wireResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("serve: read verdict: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(reqBuf)).Decode(&req); err != nil {
+		return req, resp, err
 	}
-	if resp.ID != id {
-		return nil, fmt.Errorf("serve: session mismatch: got %d, want %d", resp.ID, id)
+	if err := gob.NewDecoder(bytes.NewReader(respBuf)).Decode(&resp); err != nil {
+		return req, resp, err
 	}
-	if !resp.OK {
-		return nil, remoteError(resp.ErrKind, resp.Err)
-	}
-	return &core.Verdict{Score: resp.Score, Attack: resp.Attack, SyncOffset: resp.SyncOffset}, nil
+	return req, resp, nil
 }

@@ -62,6 +62,12 @@ var (
 // Request is one detection session: a VA recording and the wearable that
 // heard the same command.
 type Request struct {
+	// UserID identifies the wearable-paired user the session belongs to.
+	// The server ignores it; the routing tier consistent-hashes it to
+	// pick the serving node (falling back to WearableAddr when empty), so
+	// one user's sessions — and any per-user state a node caches — stay
+	// on one node.
+	UserID string
 	// WearableAddr is the paired wearable agent's network address.
 	WearableAddr string
 	// VARecording is the VA device's capture of the voice command.

@@ -327,3 +327,95 @@ func popNonBlocking(q chan *session) (*session, bool) {
 		return nil, false
 	}
 }
+
+// Listen mounts the session front-end on addr and returns the resolved
+// listen address. One listener per server; sessions arriving over it run
+// through the same admission queue as Submit. The front-end speaks the
+// framed binary protocol (wire.go) with connection multiplexing: many
+// concurrent sessions per connection, each tagged with a stream id.
+func (s *Server) Listen(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateRunning {
+		return "", ErrDraining
+	}
+	if s.listener != nil {
+		return "", fmt.Errorf("serve: already listening on %s", s.listener.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen: %w", err)
+	}
+	s.listener = ln
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the front-end listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.state != stateRunning {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn serves one multiplexed front-end connection until the peer
+// (or the drain's half-close) ends the read side; ServeMuxConn flushes
+// every in-flight stream's response before returning.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+		s.connWG.Done()
+	}()
+	ServeMuxConn(conn, s.Submit)
+}
+
+// Kill abruptly severs the server's network presence — the listener and
+// every front-end connection close hard, with no drain and no final
+// responses — simulating node death for the chaos harness. Peers observe
+// resets mid-session. The worker pool keeps running in-process; use
+// Shutdown to release it (safe after Kill).
+func (s *Server) Kill() {
+	s.mu.Lock()
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, conn := range conns {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0) // RST, not FIN: the peer sees a dead node
+		}
+		_ = conn.Close()
+	}
+}

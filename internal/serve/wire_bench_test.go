@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// Wire-protocol benchmarks: one "session" is a request (wearable address,
+// seed, a 2-second 16 kHz VA recording) plus its verdict response,
+// encoded AND decoded — the full serialization cost of one detection
+// round trip. The gob variant uses fresh encoders/decoders per session,
+// exactly as the retired front-end paid it on every connection (gob
+// renegotiates type descriptors per stream); the binary variant is the
+// framed codec the serving path speaks now. bytes/session reports the
+// on-wire size of the pair. Results feed the EXPERIMENTS.md table.
+
+// benchSamples is a 2 s, 16 kHz recording — a typical short command.
+const benchSamples = 32000
+
+func benchRecording() []float64 {
+	rec := make([]float64, benchSamples)
+	for i := range rec {
+		rec[i] = math.Sin(float64(i) / 37)
+	}
+	return rec
+}
+
+func BenchmarkGobSessionRoundTrip(b *testing.B) {
+	rec := benchRecording()
+	req := wireRequest{ID: 1, WearableAddr: "127.0.0.1:7700", VASamples: rec, RNGSeed: 42}
+	resp := wireResponse{ID: 1, OK: true, Score: 0.75, Attack: false, SyncOffset: -120, Spans: 4}
+	var bytesPerSession int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqBuf, respBuf, err := gobEncodeSession(req, resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := gobDecodeSession(reqBuf, respBuf); err != nil {
+			b.Fatal(err)
+		}
+		bytesPerSession = len(reqBuf) + len(respBuf)
+	}
+	b.ReportMetric(float64(bytesPerSession), "bytes/session")
+}
+
+func BenchmarkBinarySessionRoundTrip(b *testing.B) {
+	rec := benchRecording()
+	req := Request{UserID: "user-1", WearableAddr: "127.0.0.1:7700", VARecording: rec, RNGSeed: 42}
+	verdict := wireVerdict{Score: 0.75, Attack: false, SyncOffset: -120, Spans: 4}
+	var bytesPerSession int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqFrame := AppendFrame(nil, Frame{Type: FrameRequest, Stream: 1, Payload: AppendRequestPayload(nil, req)})
+		respFrame := AppendFrame(nil, Frame{Type: FrameVerdict, Stream: 1, Payload: AppendVerdictPayload(nil, verdict)})
+		f1, _, err := DecodeFrame(reqFrame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeRequestPayload(f1.Payload); err != nil {
+			b.Fatal(err)
+		}
+		f2, _, err := DecodeFrame(respFrame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeVerdictPayload(f2.Payload); err != nil {
+			b.Fatal(err)
+		}
+		bytesPerSession = len(reqFrame) + len(respFrame)
+	}
+	b.ReportMetric(float64(bytesPerSession), "bytes/session")
+}
+
+// The error-path pair: a typed shed crossing the wire, both codecs.
+
+func BenchmarkGobErrorRoundTrip(b *testing.B) {
+	resp := wireResponse{ID: 1, OK: false, ErrKind: kindOverloaded, Err: ErrOverloaded.Error()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqBuf, respBuf, err := gobEncodeSession(wireRequest{ID: 1}, resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, decoded, err := gobDecodeSession(reqBuf, respBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = remoteError(decoded.ErrKind, decoded.Err)
+	}
+}
+
+func BenchmarkBinaryErrorRoundTrip(b *testing.B) {
+	src := &NodeError{Node: "node1", Err: ErrOverloaded}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := AppendFrame(nil, Frame{Type: FrameError, Stream: 1, Payload: AppendErrorPayload(nil, src)})
+		f, _, err := DecodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeErrorPayload(f.Payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# route_smoke.sh — multi-node routing smoke test (make route-smoke).
+#
+# Boots vibguardd in -route mode with 3 in-process nodes behind the
+# consistent-hash router, hard-kills node 1 once a quarter of the burst
+# has resolved, and asserts: sessions completed on the survivors, zero
+# verdict mismatches, zero untyped failures (node-loss errors are typed
+# and expected), and a clean router-then-nodes drain on exit.
+set -euo pipefail
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$tmp/vibguardd" ./cmd/vibguardd
+"$tmp/vibguardd" -route -nodes 3 -chaos-kill 1 -seed 1 -sessions 32 \
+    -wearables 8 -log-format text >"$tmp/log" 2>&1 &
+pid=$!
+
+die() {
+    echo "route-smoke: $1" >&2
+    echo "--- vibguardd log ---" >&2
+    cat "$tmp/log" >&2
+    exit 1
+}
+
+# Wait for the whole burst (training + 32 two-hop sessions + chaos kill).
+for _ in $(seq 1 360); do
+    grep -q "route pass complete" "$tmp/log" && break
+    kill -0 "$pid" 2>/dev/null || die "daemon exited before finishing the route pass"
+    sleep 0.5
+done
+grep -q "route pass complete" "$tmp/log" || die "route pass did not finish"
+
+# The kill must actually have happened mid-burst...
+grep -q "chaos: killing node" "$tmp/log" || die "chaos kill never fired"
+# ...and the router must have demoted the victim with a typed transition.
+grep -q 'node transition.*node=node1.*to=down' "$tmp/log" || die "victim never transitioned down"
+
+pass=$(grep "route pass complete" "$tmp/log" | head -1)
+# Survivor nodes keep completing sessions; nothing fails untyped and no
+# verdict flips. Sessions on the victim surface as typed node_lost, never
+# as hangs or silent losses (completed+shed+node_lost+failed == sessions
+# is enforced by failed=0 + the completion check below).
+echo "$pass" | grep -q "failed=0" || die "route pass had untyped failures: $pass"
+echo "$pass" | grep -q "mismatches=0" || die "route pass had verdict mismatches: $pass"
+echo "$pass" | grep -q "shed=0" || die "route pass shed sessions with a burst-sized queue: $pass"
+completed=$(echo "$pass" | sed -n 's/.*completed=\([0-9]*\).*/\1/p')
+[ -n "$completed" ] && [ "$completed" -gt 0 ] || die "no session completed: $pass"
+
+# The daemon exits through the rolling-restart drain order.
+for _ in $(seq 1 120); do
+    grep -q "nodes drained" "$tmp/log" && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.5
+done
+grep -q "router drained" "$tmp/log" || die "router did not log a clean drain"
+grep -q "nodes drained" "$tmp/log" || die "nodes did not log a clean drain"
+wait "$pid" || die "daemon exited nonzero"
+pid=""
+
+echo "route-smoke: ok ($pass)"
