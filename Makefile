@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn route-race route-smoke bench-wire
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn route-race route-smoke bench-wire stream-race stream-smoke bench-stream
 
 build:
 	$(GO) build ./...
@@ -104,3 +104,23 @@ route-smoke:
 # records the output.
 bench-wire:
 	$(GO) test -bench='SessionRoundTrip|ErrorRoundTrip' -benchmem -run=^$$ ./internal/serve/
+
+# Streaming-pipeline race gate: vet plus the race detector over every
+# layer the chunked ingest path crosses (streaming STFT and VAD, the
+# incremental aligner, the early-exit inspector, the chunk frames and
+# session server, the coalescing segmenter).
+stream-race:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 10m ./internal/dsp/ ./internal/syncnet/ ./internal/core/ ./internal/serve/ ./internal/segment/
+
+# Streaming smoke test: boot vibguardd -serve -stream, cross-check every
+# streamed verdict against its batch twin, and assert the early-exit and
+# VAD counters moved on /metrics.
+stream-smoke:
+	./scripts/stream_smoke.sh
+
+# Time-to-verdict baseline: batch vs streamed arms over the trained-BRNN
+# acoustic corpus at real-time pace, regenerating the checked-in
+# BENCH_stream.json that EXPERIMENTS.md cites.
+bench-stream:
+	$(GO) run ./cmd/benchstream -out BENCH_stream.json

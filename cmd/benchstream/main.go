@@ -1,0 +1,317 @@
+// Command benchstream measures time-to-verdict for the streaming
+// detection pipeline against the batch pipeline on the production
+// arrangement — a trained BRNN phoneme segmenter over simulated acoustic
+// scenarios, the same defense the serve tier runs — and writes the
+// results as JSON. `make bench-stream` uses it to regenerate the
+// checked-in BENCH_stream.json baseline (the cmd/benchdsp arrangement).
+//
+// Both arms are measured against paced audio arrival — a recording takes
+// its own duration (scaled by -pace) to exist, because a microphone
+// cannot be read faster than real time:
+//
+//   - The batch arm cannot start until the whole recording has arrived,
+//     so its time-to-verdict is the paced recording duration plus the
+//     measured Defense.Inspect wall time. No sleeping is needed to know
+//     the arrival time; only the inspection is timed.
+//   - The stream arm feeds the recording chunk by chunk, sleeping each
+//     chunk's paced duration before it arrives, and stops the clock the
+//     moment the inspector returns a verdict — before the recording ends
+//     whenever the early exit fires. If no early exit fires the fallback
+//     runs at stream close, which costs the batch arm plus overhead.
+//
+// Every streamed verdict is cross-checked against the batch verdict of
+// the same seeded session; a flip fails the run. Runs are replayable
+// from -seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"vibguard"
+	"vibguard/internal/acoustics"
+	"vibguard/internal/core"
+	"vibguard/internal/device"
+)
+
+type session struct {
+	label  string
+	legit  bool
+	va     []float64
+	wear   []float64
+	rngSes int64
+}
+
+type sessionResult struct {
+	Label       string  `json:"label"`
+	Legit       bool    `json:"legit"`
+	DurationMs  float64 `json:"duration_ms"`
+	BatchMs     float64 `json:"batch_ms"`
+	StreamMs    float64 `json:"stream_ms"`
+	Early       bool    `json:"early"`
+	ConsumedPct float64 `json:"consumed_pct"`
+}
+
+type armSummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+}
+
+type report struct {
+	GOOS          string          `json:"goos"`
+	GOARCH        string          `json:"goarch"`
+	NumCPU        int             `json:"num_cpu"`
+	Pace          float64         `json:"pace"`
+	ChunkMs       int             `json:"chunk_ms"`
+	Sessions      int             `json:"sessions"`
+	LegitSessions int             `json:"legit_sessions"`
+	EarlyExits    int             `json:"early_exits"`
+	VerdictFlips  int             `json:"verdict_flips"`
+	BatchLegit    armSummary      `json:"batch_legit"`
+	StreamLegit   armSummary      `json:"stream_legit"`
+	BatchAll      armSummary      `json:"batch_all"`
+	StreamAll     armSummary      `json:"stream_all"`
+	SpeedupP50    float64         `json:"speedup_p50_legit"`
+	SpeedupP50All float64         `json:"speedup_p50_all"`
+	Results       []sessionResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	seed := flag.Int64("seed", 2026, "corpus and session RNG seed")
+	pace := flag.Float64("pace", 1.0, "audio arrival pace: 1.0 = real time, 0.1 = 10x faster than real time")
+	chunkMs := flag.Int("chunk-ms", 100, "streamed chunk duration in milliseconds")
+	voices := flag.Int("voices", 2, "speakers in the corpus")
+	commands := flag.Int("commands", 3, "commands per speaker (each heard legitimately and as a thru-barrier replay)")
+	flag.Parse()
+
+	if err := run(*out, *seed, *pace, *chunkMs, *voices, *commands); err != nil {
+		fmt.Fprintln(os.Stderr, "benchstream:", err)
+		os.Exit(1)
+	}
+}
+
+// buildCorpus synthesizes the session corpus: for each speaker and
+// command, the legitimate acoustic path (direct speech, wearable on the
+// wrist) and the thru-barrier replay path, each wearable recording
+// shifted by its own seeded network delay — the -serve fleet scenario.
+func buildCorpus(rng *rand.Rand, voices, commands int) ([]*session, error) {
+	pool := vibguard.NewVoicePool(voices, rng.Int63())
+	room := vibguard.Rooms()[0]
+	cmds := vibguard.Commands()
+	var sessions []*session
+	for _, voice := range pool {
+		synth, err := vibguard.NewSynthesizer(voice)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < commands && c < len(cmds); c++ {
+			utt, err := synth.Synthesize(cmds[c])
+			if err != nil {
+				return nil, err
+			}
+			transmit := func(spl, dist float64, thru bool) ([]float64, error) {
+				return room.Transmit(utt.Samples, acoustics.PathConfig{
+					SourceSPL: spl, DistanceM: dist, ThroughBarrier: thru,
+					SampleRate: vibguard.SampleRate,
+				}, rng)
+			}
+			type path struct {
+				label       string
+				legit       bool
+				spl, vaDist float64
+				wearDist    float64
+				thru        bool
+			}
+			for _, p := range []path{
+				{"legit", true, 72, 1.5, 0.3, false},
+				{"replay", false, 80, 2.1, 2.4, true},
+			} {
+				va, err := transmit(p.spl, p.vaDist, p.thru)
+				if err != nil {
+					return nil, err
+				}
+				near, err := transmit(p.spl, p.wearDist, p.thru)
+				if err != nil {
+					return nil, err
+				}
+				wear := vibguard.SimulateNetworkDelay(near, 0.05+rng.Float64()*0.1, rng)
+				sessions = append(sessions, &session{
+					label: p.label, legit: p.legit, va: va, wear: wear,
+				})
+			}
+		}
+	}
+	return sessions, nil
+}
+
+func run(out string, seed int64, pace float64, chunkMs, voices, commands int) error {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Fprintln(os.Stderr, "benchstream: training phoneme detector")
+	det, err := vibguard.TrainPhonemeDetector(vibguard.DetectorTraining{Seed: rng.Int63()})
+	if err != nil {
+		return err
+	}
+	defense, err := core.NewDefense(core.DefaultConfig(device.NewFossilGen5(), vibguard.BRNNSegmenter(det)))
+	if err != nil {
+		return err
+	}
+	sessions, err := buildCorpus(rng, voices, commands)
+	if err != nil {
+		return err
+	}
+	chunkSamples := chunkMs * int(vibguard.SampleRate) / 1000
+	if chunkSamples < 1 {
+		chunkSamples = 1
+	}
+	rep := report{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Pace: pace, ChunkMs: chunkMs, Sessions: len(sessions),
+	}
+	for i, s := range sessions {
+		s.rngSes = seed + int64(i)
+		durMs := float64(len(s.va)) / vibguard.SampleRate * 1000
+
+		// Batch arm: arrival (paced duration) + measured Inspect time.
+		t0 := time.Now()
+		bv, err := defense.Inspect(s.va, s.wear, rand.New(rand.NewSource(s.rngSes)))
+		if err != nil {
+			return fmt.Errorf("%s: batch: %w", s.label, err)
+		}
+		batchMs := durMs*pace + float64(time.Since(t0).Nanoseconds())/1e6
+
+		// Stream arm: paced chunks, clock stops at the verdict.
+		sv, streamMs, err := streamSession(defense, s, chunkSamples, pace)
+		if err != nil {
+			return fmt.Errorf("%s: stream: %w", s.label, err)
+		}
+
+		if s.legit {
+			rep.LegitSessions++
+		}
+		if sv.Early {
+			rep.EarlyExits++
+		}
+		if sv.Attack != bv.Attack {
+			rep.VerdictFlips++
+			fmt.Fprintf(os.Stderr, "benchstream: VERDICT FLIP %s: stream attack=%v batch attack=%v\n",
+				s.label, sv.Attack, bv.Attack)
+		}
+		rep.Results = append(rep.Results, sessionResult{
+			Label: s.label, Legit: s.legit, DurationMs: durMs,
+			BatchMs: batchMs, StreamMs: streamMs, Early: sv.Early,
+			ConsumedPct: 100 * float64(sv.Consumed) / float64(len(s.va)),
+		})
+		fmt.Fprintf(os.Stderr, "%-8s dur=%6.0fms batch=%6.0fms stream=%6.0fms early=%-5v consumed=%5.1f%%\n",
+			s.label, durMs, batchMs, streamMs, sv.Early, 100*float64(sv.Consumed)/float64(len(s.va)))
+	}
+
+	pick := func(legitOnly, stream bool) []float64 {
+		var xs []float64
+		for _, r := range rep.Results {
+			if legitOnly && !r.Legit {
+				continue
+			}
+			if stream {
+				xs = append(xs, r.StreamMs)
+			} else {
+				xs = append(xs, r.BatchMs)
+			}
+		}
+		return xs
+	}
+	rep.BatchLegit = summarize(pick(true, false))
+	rep.StreamLegit = summarize(pick(true, true))
+	rep.BatchAll = summarize(pick(false, false))
+	rep.StreamAll = summarize(pick(false, true))
+	if rep.StreamLegit.P50Ms > 0 {
+		rep.SpeedupP50 = rep.BatchLegit.P50Ms / rep.StreamLegit.P50Ms
+	}
+	if rep.StreamAll.P50Ms > 0 {
+		rep.SpeedupP50All = rep.BatchAll.P50Ms / rep.StreamAll.P50Ms
+	}
+	fmt.Fprintf(os.Stderr, "legit p50: batch %.0fms stream %.0fms (%.2fx)  all p50: batch %.0fms stream %.0fms (%.2fx)  early %d/%d flips %d\n",
+		rep.BatchLegit.P50Ms, rep.StreamLegit.P50Ms, rep.SpeedupP50,
+		rep.BatchAll.P50Ms, rep.StreamAll.P50Ms, rep.SpeedupP50All,
+		rep.EarlyExits, rep.Sessions, rep.VerdictFlips)
+	if rep.VerdictFlips > 0 {
+		return fmt.Errorf("%d streamed verdicts diverged from batch", rep.VerdictFlips)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return nil
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// streamSession feeds one session through a StreamInspector with paced
+// chunk arrival and returns the verdict and the wall-clock milliseconds
+// from session start to verdict.
+func streamSession(d *core.Defense, s *session, chunkSamples int, pace float64) (*core.Verdict, float64, error) {
+	si, err := d.NewStreamInspector(core.StreamConfig{}, s.rngSes)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := si.FeedWearable(s.wear); err != nil {
+		return nil, 0, err
+	}
+	sampleDur := pace * float64(time.Second) / vibguard.SampleRate
+	t0 := time.Now()
+	var verdict *core.Verdict
+	for lo := 0; lo < len(s.va); lo += chunkSamples {
+		hi := lo + chunkSamples
+		if hi > len(s.va) {
+			hi = len(s.va)
+		}
+		// The chunk takes its own duration to arrive.
+		time.Sleep(time.Duration(float64(hi-lo) * sampleDur))
+		v, err := si.Feed(s.va[lo:hi])
+		if err != nil {
+			return nil, 0, err
+		}
+		if v != nil {
+			verdict = v
+			break
+		}
+	}
+	if verdict == nil {
+		v, err := si.Finish()
+		if err != nil {
+			return nil, 0, err
+		}
+		verdict = v
+	}
+	return verdict, float64(time.Since(t0).Nanoseconds()) / 1e6, nil
+}
+
+// summarize returns the p50/p90 of xs (nearest-rank).
+func summarize(xs []float64) armSummary {
+	if len(xs) == 0 {
+		return armSummary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return armSummary{P50Ms: rank(0.50), P90Ms: rank(0.90)}
+}

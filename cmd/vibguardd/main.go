@@ -31,6 +31,7 @@
 //	          [-seed 0] [-debug-addr 127.0.0.1:6060] [-log-format text]
 //	vibguardd -serve [-serve-addr 127.0.0.1:0] [-sessions 64]
 //	          [-wearables 8] [-serve-workers 0] [-queue-depth 0]
+//	          [-stream] [-chunk-ms 100]
 //	vibguardd -route [-nodes 3] [-chaos-kill -1] [-serve-addr 127.0.0.1:0]
 //	          [-sessions 48] [-wearables 8]
 //
@@ -38,6 +39,12 @@
 // consistent-hash session router (internal/router) and drives the burst
 // through the router's multiplexed TCP front-door; -chaos-kill hard-kills
 // one node mid-burst to demonstrate typed node-loss errors and failover.
+//
+// With -serve -stream each session additionally runs through the chunked
+// streaming protocol: audio crosses the wire in -chunk-ms chunks and the
+// server may answer with an early verdict before the recording ends. The
+// pass cross-checks every streamed verdict against the batch verdict of
+// the identical seeded session and reports the early-exit count.
 package main
 
 import (
@@ -74,6 +81,8 @@ func main() {
 	wearables := flag.Int("wearables", 8, "simulated wearable fleet size (-serve / -route)")
 	serveWorkers := flag.Int("serve-workers", 0, "detection worker pool size, 0 = GOMAXPROCS (-serve / -route)")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue depth, 0 = sized so the demo burst is never shed (-serve / -route)")
+	streamMode := flag.Bool("stream", false, "stream each session's audio in chunks and cross-check early verdicts against the batch pipeline (-serve)")
+	chunkMs := flag.Int("chunk-ms", 100, "streamed chunk duration in milliseconds (-serve -stream)")
 	routeMode := flag.Bool("route", false, "boot N in-process serve nodes behind the consistent-hash router and drive the burst through its front-door")
 	nodeCount := flag.Int("nodes", 3, "serve node count behind the router (-route)")
 	chaosKill := flag.Int("chaos-kill", -1, "node index to hard-kill mid-burst, -1 = none (-route)")
@@ -121,6 +130,8 @@ func main() {
 			workers:    *serveWorkers,
 			queueDepth: *queueDepth,
 			attackSPL:  *attackSPL,
+			stream:     *streamMode,
+			chunkMs:    *chunkMs,
 		}
 		if err := runServe(logger, opts, *debugAddr, *seed); err != nil {
 			logger.Error("fatal", "err", err)

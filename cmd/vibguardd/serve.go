@@ -17,6 +17,7 @@ import (
 	"vibguard/internal/acoustics"
 	"vibguard/internal/core"
 	"vibguard/internal/device"
+	"vibguard/internal/segment"
 	"vibguard/internal/serve"
 	"vibguard/internal/syncnet"
 )
@@ -29,6 +30,8 @@ type serveOptions struct {
 	workers    int
 	queueDepth int
 	attackSPL  float64
+	stream     bool
+	chunkMs    int
 }
 
 // fleetWearable is one simulated wearable of the -serve fleet: a live TCP
@@ -131,7 +134,13 @@ func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int
 	if err != nil {
 		return err
 	}
-	segmenter := vibguard.BRNNSegmenter(det)
+	// All workers share one coalescer as their segmenter: sessions that
+	// reach span detection together traverse the BRNN weights once per
+	// timestep for the whole batch (DetectFramesBatch) instead of once
+	// per session; a lone session runs alone with no added latency.
+	coal := segment.NewCoalescer(det, 0)
+	defer coal.Close()
+	segmenter := coal
 
 	fleet, err := buildFleet(logger, rng, opts.wearables, opts.attackSPL)
 	if err != nil {
@@ -151,6 +160,7 @@ func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int
 		QueueDepth:     opts.queueDepth,
 		SessionTimeout: 2 * time.Minute,
 		Seed:           seed,
+		Stream:         core.StreamConfig{},
 	})
 	if err != nil {
 		return err
@@ -162,7 +172,12 @@ func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int
 	logger.Info("session server serving",
 		"addr", addr, "workers", srv.Workers(), "queue_depth", srv.QueueDepth())
 
+	chunkSamples := opts.chunkMs * int(vibguard.SampleRate) / 1000
+	if chunkSamples < 1 {
+		chunkSamples = 1
+	}
 	var completed, shed, failed, mismatches atomic.Int64
+	var earlyExits, streamMismatches atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < opts.sessions; i++ {
 		wg.Add(1)
@@ -176,24 +191,51 @@ func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int
 				return
 			}
 			defer func() { _ = client.Close() }()
-			v, err := client.Inspect(serve.Request{
+			req := serve.Request{
 				WearableAddr: fw.agent.Addr(),
 				VARecording:  fw.vaRec,
 				RNGSeed:      serve.SessionSeed(seed, uint64(i)),
-			})
+			}
+			v, err := client.Inspect(req)
 			switch {
 			case errors.Is(err, serve.ErrOverloaded):
 				shed.Add(1)
+				return
 			case err != nil:
 				failed.Add(1)
 				logger.Error("session failed", "session", i, "err", err)
-			default:
-				completed.Add(1)
-				if v.Attack != fw.expectAttack {
-					mismatches.Add(1)
-					logger.Error("verdict mismatch",
-						"session", i, "attack", v.Attack, "score", v.Score, "want", fw.expectAttack)
-				}
+				return
+			}
+			completed.Add(1)
+			if v.Attack != fw.expectAttack {
+				mismatches.Add(1)
+				logger.Error("verdict mismatch",
+					"session", i, "attack", v.Attack, "score", v.Score, "want", fw.expectAttack)
+			}
+			if !opts.stream {
+				return
+			}
+			// Stream the identical seeded session and cross-check: an
+			// early exit must never change the verdict the batch pipeline
+			// reached on the same audio.
+			sv, err := client.InspectStream(req, chunkSamples)
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				shed.Add(1)
+				return
+			case err != nil:
+				failed.Add(1)
+				logger.Error("streamed session failed", "session", i, "err", err)
+				return
+			}
+			if sv.Early {
+				earlyExits.Add(1)
+			}
+			if sv.Attack != v.Attack {
+				streamMismatches.Add(1)
+				logger.Error("streamed verdict mismatch",
+					"session", i, "stream_attack", sv.Attack, "early", sv.Early,
+					"consumed", sv.Consumed, "batch_attack", v.Attack)
 			}
 		}(i)
 	}
@@ -205,6 +247,13 @@ func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int
 		"shed", shed.Load(),
 		"failed", failed.Load(),
 		"mismatches", mismatches.Load())
+	if opts.stream {
+		logger.Info("stream pass complete",
+			"sessions", opts.sessions,
+			"chunk_samples", chunkSamples,
+			"early_exits", earlyExits.Load(),
+			"stream_mismatches", streamMismatches.Load())
+	}
 
 	if debugAddr != "" {
 		stop := make(chan os.Signal, 1)
@@ -222,6 +271,9 @@ func runServe(logger *slog.Logger, opts serveOptions, debugAddr string, seed int
 	logger.Info("session server drained")
 	if failed.Load() > 0 || mismatches.Load() > 0 {
 		return fmt.Errorf("fleet pass: %d failed sessions, %d verdict mismatches", failed.Load(), mismatches.Load())
+	}
+	if streamMismatches.Load() > 0 {
+		return fmt.Errorf("stream pass: %d streamed verdicts diverged from batch", streamMismatches.Load())
 	}
 	return nil
 }

@@ -105,6 +105,13 @@ type Verdict struct {
 	SyncOffset int
 	// Spans are the effective-phoneme spans used (MethodFull only).
 	Spans []segment.Span
+	// Early is true when a streaming session reached this verdict before
+	// the recording ended (StreamInspector early exit). Batch verdicts
+	// always leave it false.
+	Early bool
+	// Consumed is the number of VA samples a streaming session had
+	// ingested when the verdict was reached (0 for batch verdicts).
+	Consumed int
 }
 
 // Inspect runs the full pipeline on a VA recording and a raw (unaligned)

@@ -88,6 +88,10 @@ type BRNNSegmenter struct {
 
 var _ Segmenter = (*BRNNSegmenter)(nil)
 
+// The coalescer batches concurrent EffectiveSpans calls into single BRNN
+// passes; serve workers share one as their segmenter.
+var _ Segmenter = (*segment.Coalescer)(nil)
+
 // EffectiveSpans runs frame detection and span merging.
 func (s *BRNNSegmenter) EffectiveSpans(recording []float64) ([]segment.Span, error) {
 	frames, err := s.Detector.DetectFrames(recording)
@@ -251,6 +255,47 @@ func (d *Detector) ScoreWithSpans(vaRec, wearRec []float64, spans []segment.Span
 
 // Detect reports whether a score indicates a thru-barrier attack.
 func (d *Detector) Detect(score float64) bool { return score < d.cfg.Threshold }
+
+// CorrelateSegments senses two already-extracted effective-phoneme segment
+// signals in the vibration domain and returns the Eq. (6) correlation
+// score together with the number of overlapping (frame, bin) cells that
+// entered it — the sample size behind the streaming pipeline's
+// confidence-interval early exit. It is the inner loop of fullScore with
+// the span extraction hoisted out (the streaming inspector extracts only
+// the completed spans itself). MethodFull only; empty segments return the
+// minimum score with zero cells, mirroring fullScore's no-usable-content
+// rule. The returned score is always finite.
+func (d *Detector) CorrelateSegments(vaSeg, wearSeg []float64, rng *rand.Rand) (float64, int, error) {
+	if d.cfg.Method != MethodFull {
+		return 0, 0, fmt.Errorf("detector: CorrelateSegments needs MethodFull, have %v", d.cfg.Method)
+	}
+	if len(vaSeg) == 0 || len(wearSeg) == 0 {
+		return -1, 0, nil
+	}
+	featA, err := sensing.SenseFeatures(d.cfg.Wearable, vaSeg, d.cfg.Sensing, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	featB, err := sensing.SenseFeatures(d.cfg.Wearable, wearSeg, d.cfg.Sensing, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	sp := stageCorrelate.Start()
+	score := dsp.Correlate2D(featA, featB)
+	sp.End()
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		return 0, 0, ErrNonFiniteScore
+	}
+	frames := featA.NumFrames()
+	if featB.NumFrames() < frames {
+		frames = featB.NumFrames()
+	}
+	bins := featA.NumBins()
+	if featB.NumBins() < bins {
+		bins = featB.NumBins()
+	}
+	return score, frames * bins, nil
+}
 
 // audioScore is the audio-domain baseline the paper describes (and finds
 // unreliable) in Section I: examine the high-frequency spectral energy of

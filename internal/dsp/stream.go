@@ -1,0 +1,149 @@
+package dsp
+
+// Streaming short-time Fourier analysis: the batch STFT of stft.go,
+// restructured so the signal can arrive in chunks. The streamer runs
+// against the exact same machinery — the cached RealFFTPlan, the cached
+// analysis window, and RealFFTPlan.PowerInto — and performs the identical
+// per-frame arithmetic in the identical order, so the accumulated
+// spectrogram is bit-identical (math.Float64bits) to STFT on the
+// concatenated samples, for any chunking of the same signal.
+
+// STFTStreamer consumes a signal incrementally and emits power-spectrogram
+// frames as soon as their analysis window is fully covered by fed samples.
+// Finish flushes the zero-padded tail frames using the batch STFT's frame
+// count rule, so a Feed…Feed/Finish sequence over chunks of x produces the
+// same frames as STFT(x).
+//
+// A streamer retains only the unconsumed sample tail (at most one window
+// plus one hop), not the whole signal, so long-running streams hold O(FFT)
+// memory beyond the emitted frames. Not safe for concurrent use.
+type STFTStreamer struct {
+	cfg     STFTConfig
+	plan    *RealFFTPlan
+	win     []float64
+	frame   []float64
+	scratch []complex128
+
+	// tail holds the fed-but-unconsumed samples [tailBase, total).
+	tail     []float64
+	tailBase int
+	total    int
+	emitted  int
+	rows     [][]float64
+	done     bool
+}
+
+// NewSTFTStreamer builds a streamer for the given configuration (the same
+// validation and defaulting as STFT).
+func NewSTFTStreamer(cfg STFTConfig) (*STFTStreamer, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	plan := mustPlanRealFFT(c.FFTSize)
+	return &STFTStreamer{
+		cfg:     c,
+		plan:    plan,
+		win:     cachedWindow(c.Window, c.FFTSize),
+		frame:   make([]float64, c.FFTSize),
+		scratch: plan.Scratch(),
+	}, nil
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (s *STFTStreamer) Config() STFTConfig { return s.cfg }
+
+// NumFrames returns the number of frames emitted so far.
+func (s *STFTStreamer) NumFrames() int { return len(s.rows) }
+
+// Frames returns the power rows emitted so far. The slice grows with every
+// Feed/Finish; rows already returned are never mutated, so a consumer may
+// track its own read offset into the result.
+func (s *STFTStreamer) Frames() [][]float64 { return s.rows }
+
+// SamplesFed returns the total number of samples consumed so far.
+func (s *STFTStreamer) SamplesFed() int { return s.total }
+
+// Feed appends samples to the stream and emits every frame whose window is
+// now fully covered, returning how many frames were emitted by this call.
+// Feed after Finish panics: the streamer's tail state is already flushed.
+func (s *STFTStreamer) Feed(samples []float64) int {
+	if s.done {
+		panic("dsp: STFTStreamer.Feed after Finish")
+	}
+	s.tail = append(s.tail, samples...)
+	s.total += len(samples)
+	emitted := 0
+	// Frame t covers [t*hop, t*hop+FFTSize); emit while fully covered.
+	for s.emitted*s.cfg.HopSize+s.cfg.FFTSize <= s.total {
+		s.emitFrame(s.cfg.FFTSize)
+		emitted++
+	}
+	return emitted
+}
+
+// emitFrame windows the next frame (n real samples, zero-padded to
+// FFTSize), transforms it, and appends the power row. The windowed copy and
+// the zero fill mirror the batch STFT loop statement for statement.
+func (s *STFTStreamer) emitFrame(n int) {
+	start := s.emitted * s.cfg.HopSize
+	off := start - s.tailBase
+	if off > len(s.tail) {
+		off = len(s.tail)
+	}
+	if avail := len(s.tail) - off; n > avail {
+		n = avail
+	}
+	if n < 0 {
+		n = 0
+	}
+	for i := 0; i < n; i++ {
+		s.frame[i] = s.tail[off+i] * s.win[i]
+	}
+	for i := n; i < s.cfg.FFTSize; i++ {
+		s.frame[i] = 0
+	}
+	row := make([]float64, s.plan.NumBins())
+	s.plan.PowerInto(row, s.frame, s.scratch)
+	s.rows = append(s.rows, row)
+	s.emitted++
+	// Drop the samples no frame will need again: everything before the
+	// next frame's start (clamped to what we actually hold).
+	drop := s.emitted*s.cfg.HopSize - s.tailBase
+	if drop > len(s.tail) {
+		drop = len(s.tail)
+	}
+	if drop > 0 {
+		kept := copy(s.tail, s.tail[drop:])
+		s.tail = s.tail[:kept]
+		s.tailBase += drop
+	}
+}
+
+// Finish flushes the zero-padded tail frames and returns the completed
+// spectrogram. The frame count follows the batch rule: one frame for any
+// non-empty signal up to FFTSize, then one per hop of the remainder,
+// rounded up — so the result matches STFT on the concatenated samples
+// frame for frame and bit for bit. Finish is idempotent; the first call
+// decides the result.
+func (s *STFTStreamer) Finish() *Spectrogram {
+	if !s.done {
+		s.done = true
+		if s.total > 0 {
+			numFrames := 1
+			if s.total > s.cfg.FFTSize {
+				numFrames = 1 + (s.total-s.cfg.FFTSize+s.cfg.HopSize-1)/s.cfg.HopSize
+			}
+			for s.emitted < numFrames {
+				s.emitFrame(s.cfg.FFTSize)
+			}
+		}
+		s.tail = nil
+	}
+	return &Spectrogram{
+		Power:      s.rows,
+		FFTSize:    s.cfg.FFTSize,
+		HopSize:    s.cfg.HopSize,
+		SampleRate: s.cfg.SampleRate,
+	}
+}

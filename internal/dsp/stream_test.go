@@ -1,0 +1,281 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chunkings slices x into chunks per a named strategy.
+func chunkings(x []float64, rng *rand.Rand) map[string][][]float64 {
+	out := map[string][][]float64{
+		"all-at-once": {x},
+	}
+	one := make([][]float64, 0, len(x))
+	for i := range x {
+		one = append(one, x[i:i+1])
+	}
+	out["one-sample"] = one
+	const prime = 37
+	var pr [][]float64
+	for lo := 0; lo < len(x); lo += prime {
+		hi := lo + prime
+		if hi > len(x) {
+			hi = len(x)
+		}
+		pr = append(pr, x[lo:hi])
+	}
+	out["prime-37"] = pr
+	var rd [][]float64
+	for lo := 0; lo < len(x); {
+		hi := lo + 1 + rng.Intn(200)
+		if hi > len(x) {
+			hi = len(x)
+		}
+		rd = append(rd, x[lo:hi])
+		lo = hi
+	}
+	out["random"] = rd
+	// Empty chunks interleaved must be harmless.
+	var we [][]float64
+	for lo := 0; lo < len(x); lo += 100 {
+		hi := lo + 100
+		if hi > len(x) {
+			hi = len(x)
+		}
+		we = append(we, nil, x[lo:hi], []float64{})
+	}
+	out["with-empties"] = we
+	return out
+}
+
+// TestSTFTStreamerMatchesBatchBitExact is the streaming tentpole's
+// foundation: for any chunking of any signal, Feed…Finish produces a
+// spectrogram math.Float64bits-identical to STFT on the concatenated
+// samples.
+func TestSTFTStreamerMatchesBatchBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	configs := []STFTConfig{
+		{FFTSize: 256, SampleRate: 16000},
+		{FFTSize: 64, HopSize: 16, SampleRate: 200},
+		{FFTSize: 128, HopSize: 128, SampleRate: 8000, Window: WindowHamming},
+		{FFTSize: 32, HopSize: 48, SampleRate: 1000}, // hop > FFT: gapped frames
+	}
+	lengths := []int{0, 1, 5, 31, 100, 256, 257, 1000, 5000}
+	for _, cfg := range configs {
+		for _, n := range lengths {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want, err := STFT(x, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, chunks := range chunkings(x, rng) {
+				s, err := NewSTFTStreamer(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fed := 0
+				for _, c := range chunks {
+					fed += len(c)
+					s.Feed(c)
+				}
+				if fed != n || s.SamplesFed() != n {
+					t.Fatalf("fft=%d len=%d %s: fed %d/%d samples", cfg.FFTSize, n, name, s.SamplesFed(), n)
+				}
+				got := s.Finish()
+				if got.NumFrames() != want.NumFrames() {
+					t.Fatalf("fft=%d len=%d %s: %d frames, want %d",
+						cfg.FFTSize, n, name, got.NumFrames(), want.NumFrames())
+				}
+				for ti, row := range got.Power {
+					for f, v := range row {
+						if math.Float64bits(v) != math.Float64bits(want.Power[ti][f]) {
+							t.Fatalf("fft=%d len=%d %s: frame %d bin %d: %v != %v",
+								cfg.FFTSize, n, name, ti, f, v, want.Power[ti][f])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSTFTStreamerIncrementalEmission pins the streaming property itself:
+// frames appear as soon as their window is covered, not only at Finish,
+// and rows already returned are never mutated by later feeds.
+func TestSTFTStreamerIncrementalEmission(t *testing.T) {
+	cfg := STFTConfig{FFTSize: 64, HopSize: 16, SampleRate: 1000}
+	s, err := NewSTFTStreamer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if n := s.Feed(make([]float64, 63)); n != 0 || s.NumFrames() != 0 {
+		t.Fatalf("frame emitted before its window was covered (%d emitted)", n)
+	}
+	if n := s.Feed([]float64{rng.NormFloat64()}); n != 1 || s.NumFrames() != 1 {
+		t.Fatalf("Feed to 64 samples emitted %d frames, want 1", n)
+	}
+	row0 := append([]float64(nil), s.Frames()[0]...)
+	// 64 more samples cover frames at hops 16,32,48,64: four more frames.
+	if n := s.Feed(make([]float64, 64)); n != 4 {
+		t.Fatalf("Feed emitted %d frames, want 4", n)
+	}
+	for f, v := range s.Frames()[0] {
+		if math.Float64bits(v) != math.Float64bits(row0[f]) {
+			t.Fatal("an already-returned row was mutated by a later Feed")
+		}
+	}
+	s.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feed after Finish did not panic")
+		}
+	}()
+	s.Feed([]float64{1})
+}
+
+// TestSTFTStreamerFinishIdempotent pins that a second Finish returns the
+// same spectrogram without emitting more frames.
+func TestSTFTStreamerFinishIdempotent(t *testing.T) {
+	s, err := NewSTFTStreamer(STFTConfig{FFTSize: 32, SampleRate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Feed(make([]float64, 100))
+	a := s.Finish()
+	b := s.Finish()
+	if a.NumFrames() != b.NumFrames() {
+		t.Fatalf("second Finish changed the frame count: %d vs %d", a.NumFrames(), b.NumFrames())
+	}
+}
+
+// TestSTFTStreamerRejectsBadConfig mirrors the batch validation.
+func TestSTFTStreamerRejectsBadConfig(t *testing.T) {
+	if _, err := NewSTFTStreamer(STFTConfig{FFTSize: 33, SampleRate: 1000}); err == nil {
+		t.Fatal("non-power-of-two FFT size accepted")
+	}
+	if _, err := NewSTFTStreamer(STFTConfig{FFTSize: 64}); err == nil {
+		t.Fatal("zero sample rate accepted")
+	}
+}
+
+// voicedTestTone synthesizes n samples of a speech-band tone stack (200 Hz
+// fundamental plus harmonics) at the given amplitude.
+func voicedTestTone(n int, sampleRate, amp float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / sampleRate
+		x[i] = amp * (math.Sin(2*math.Pi*200*ti) +
+			0.5*math.Sin(2*math.Pi*400*ti) +
+			0.25*math.Sin(2*math.Pi*800*ti))
+	}
+	return x
+}
+
+// TestVADGatesSilenceAndRumble: silence, sub-band rumble, and impulsive
+// clicks must be gated; a speech-band harmonic stack must pass.
+func TestVADGatesSilenceAndRumble(t *testing.T) {
+	const sr = 16000.0
+	n := int(sr) // one second
+	cases := []struct {
+		name       string
+		audio      []float64
+		wantVoiced bool
+	}{
+		{"silence", make([]float64, n), false},
+		{"voiced-tones", voicedTestTone(n, sr, 0.3), true},
+		{"rumble-20hz", func() []float64 {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = 0.5 * math.Sin(2*math.Pi*20*float64(i)/sr)
+			}
+			return x
+		}(), false},
+		{"nyquist-buzz", func() []float64 {
+			// Alternating-sign full-band buzz: ZCR ~1, far above the band.
+			x := make([]float64, n)
+			for i := range x {
+				if i%2 == 0 {
+					x[i] = 0.3
+				} else {
+					x[i] = -0.3
+				}
+			}
+			return x
+		}(), false},
+		{"sub-floor-voice", voicedTestTone(n, sr, 1e-4), false}, // ~-78 dBFS
+	}
+	for _, tc := range cases {
+		v, err := NewVAD(DefaultVADConfig(sr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		voiced, gated := v.Feed(tc.audio)
+		fv, fg := v.Finish()
+		voiced += fv
+		gated += fg
+		if voiced+gated != v.FramesDecided() {
+			t.Errorf("%s: %d voiced + %d gated != %d decided", tc.name, voiced, gated, v.FramesDecided())
+		}
+		if tc.wantVoiced && voiced == 0 {
+			t.Errorf("%s: no voiced frames, want some", tc.name)
+		}
+		// Hangover keeps a trailing tail open, so "unvoiced" signals may
+		// still see a handful of voiced frames; require a decisive gate.
+		if !tc.wantVoiced && gated < v.FramesDecided()/2 {
+			t.Errorf("%s: only %d of %d frames gated", tc.name, gated, v.FramesDecided())
+		}
+	}
+}
+
+// TestVADChunkingInvariant: the voiced/gated totals must not depend on how
+// the audio is chunked.
+func TestVADChunkingInvariant(t *testing.T) {
+	const sr = 16000.0
+	rng := rand.New(rand.NewSource(5))
+	audio := voicedTestTone(int(sr), sr, 0.2)
+	// Silence gap in the middle.
+	for i := 4000; i < 8000; i++ {
+		audio[i] = 0
+	}
+	type split struct{ voiced, gated int }
+	var results []split
+	for _, chunks := range chunkings(audio, rng) {
+		v, err := NewVAD(DefaultVADConfig(sr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s split
+		for _, c := range chunks {
+			dv, dg := v.Feed(c)
+			s.voiced += dv
+			s.gated += dg
+		}
+		dv, dg := v.Finish()
+		s.voiced += dv
+		s.gated += dg
+		results = append(results, s)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("chunking changed the VAD outcome: %+v vs %+v", results[i], results[0])
+		}
+	}
+}
+
+// TestVADConfigValidation pins the config error paths.
+func TestVADConfigValidation(t *testing.T) {
+	if _, err := NewVAD(VADConfig{}); err == nil {
+		t.Fatal("zero sample rate accepted")
+	}
+	if _, err := NewVAD(VADConfig{SampleRate: 16000, HighPassHz: 9000}); err == nil {
+		t.Fatal("high-pass above Nyquist accepted")
+	}
+	if _, err := NewVAD(VADConfig{SampleRate: 16000, FFTSize: 100}); err == nil {
+		t.Fatal("non-power-of-two FFT size accepted")
+	}
+}

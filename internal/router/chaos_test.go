@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"vibguard/internal/core"
 	"vibguard/internal/faults"
 	"vibguard/internal/router"
 	"vibguard/internal/serve"
@@ -121,10 +123,12 @@ func TestRouterRoutesByUser(t *testing.T) {
 
 // TestNodeDeathMidSession is the headline chaos cell: a node dies (hard
 // network kill, RST to every peer) while a session is in flight on it.
-// The session must fail promptly with the typed serve.ErrNodeLost wrapped
-// in a NodeError naming the dead node — not hang, not vanish — the node
-// must transition down immediately (no waiting out the prober), and the
-// same user's next session must succeed on a surviving node.
+// With resubmission disabled, the session must fail promptly with the
+// typed serve.ErrNodeLost wrapped in a NodeError naming the dead node —
+// not hang, not vanish — the node must transition down immediately (no
+// waiting out the prober), and the same user's next session must succeed
+// on a surviving node. (TestNodeDeathResubmit covers the default-on
+// resubmit policy, where the same kill completes transparently.)
 func TestNodeDeathMidSession(t *testing.T) {
 	sc := scenarioFor(t)
 	gated, calls, release := gatedAgent(t, sc.legitWear) // before the cluster: cleanup is LIFO
@@ -133,6 +137,7 @@ func TestNodeDeathMidSession(t *testing.T) {
 	defer releaseOnce()
 	cl := newCluster(t, 2, nodeConfig{}, router.Config{
 		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 3,
+		Resubmits: -1,
 	})
 
 	victim := cl.ids[0]
@@ -184,6 +189,71 @@ func TestNodeDeathMidSession(t *testing.T) {
 	}
 	if v.Attack {
 		t.Errorf("failover session flagged legit command as attack (score %v)", v.Score)
+	}
+}
+
+// TestNodeDeathResubmit is the resubmit-policy regression: with the
+// default-on policy, a node killed mid-session no longer surfaces
+// serve.ErrNodeLost — the router demotes the victim and replays the
+// session on the next ring successor, and the caller receives the verdict
+// as if nothing happened. The verdict must match a clean submission of
+// the identical seeded request bit for bit (sessions are pure functions
+// of (va, wear, seed), whichever node runs them).
+func TestNodeDeathResubmit(t *testing.T) {
+	sc := scenarioFor(t)
+	gated, calls, release := gatedAgent(t, sc.legitWear) // before the cluster: cleanup is LIFO
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
+	cl := newCluster(t, 2, nodeConfig{}, router.Config{
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second, FailAfter: 3,
+	})
+
+	victim := cl.ids[0]
+	user := userOwnedBy(t, cl.r, victim)
+	req := request(user, gated, sc.legitVA, 100)
+
+	type result struct {
+		v   *core.Verdict
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		v, err := cl.r.Submit(context.Background(), req)
+		done <- result{v, err}
+	}()
+	waitFor(t, 10*time.Second, func() bool { return calls.Load() >= 1 })
+
+	cl.nodes[0].Kill()
+
+	// The resubmitted session lands on the survivor, whose worker fetches
+	// the wearable recording again; release both fetches then.
+	waitFor(t, 10*time.Second, func() bool { return calls.Load() >= 2 })
+	releaseOnce()
+
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("resubmitted session hung after node death")
+	}
+	if res.err != nil {
+		t.Fatalf("resubmitted session failed: %v", res.err)
+	}
+	if res.v.Attack {
+		t.Errorf("resubmitted session flagged legit command as attack (score %v)", res.v.Score)
+	}
+	if got := cl.r.NodeStates()[victim]; got != router.NodeDown {
+		t.Fatalf("victim state = %v after mid-session death, want down", got)
+	}
+
+	// The same seeded request submitted cleanly must match bit for bit.
+	clean, err := cl.r.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("clean resubmission: %v", err)
+	}
+	if math.Float64bits(clean.Score) != math.Float64bits(res.v.Score) || clean.Attack != res.v.Attack {
+		t.Errorf("resubmitted verdict (score %v, attack %v) != clean verdict (score %v, attack %v)",
+			res.v.Score, res.v.Attack, clean.Score, clean.Attack)
 	}
 }
 

@@ -12,6 +12,7 @@ var (
 	metSessionsCompleted = obs.Default().Counter("router.sessions.completed")
 	metSessionsFailed    = obs.Default().Counter("router.sessions.failed")
 	metSessionsNodeLost  = obs.Default().Counter("router.sessions.node_lost")
+	metSessionsResubmit  = obs.Default().Counter("router.sessions.resubmitted")
 	metSessionsRejected  = obs.Default().Counter("router.sessions.rejected")
 	metProbes            = obs.Default().Counter("router.probes.total")
 	metProbeFailures     = obs.Default().Counter("router.probes.failed")

@@ -76,6 +76,15 @@ type Config struct {
 	// OnTransition, if set, observes every health transition. Called
 	// outside the router lock; must be safe for concurrent use.
 	OnTransition func(node string, from, to NodeState)
+	// Resubmits is how many times a session that died with a node
+	// (serve.ErrNodeLost) is resubmitted to the next ring successor before
+	// the failure is surfaced. The failed node is demoted first, so each
+	// resubmit deterministically walks to the next up node. 0 means the
+	// default of 1 resubmit; negative disables resubmission entirely.
+	// Typed application errors (shed, timeout, wearable failure) are never
+	// resubmitted — only node loss, where the session provably has no
+	// answer.
+	Resubmits int
 }
 
 // withDefaults fills in defaults.
@@ -100,7 +109,21 @@ func (c Config) withDefaults() Config {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+	if c.Resubmits == 0 {
+		c.Resubmits = 1
+	}
+	if c.Resubmits < 0 {
+		c.Resubmits = -1
+	}
 	return c
+}
+
+// resubmits returns the effective resubmit budget.
+func (c Config) resubmits() int {
+	if c.Resubmits < 0 {
+		return 0
+	}
+	return c.Resubmits
 }
 
 // node is one registered serve node.
@@ -331,13 +354,45 @@ func (r *Router) pick(key string) (*node, error) {
 	return nil, serve.ErrNoNodes
 }
 
+// ErrResubmitsExhausted marks a session that was resubmitted after node
+// losses until the budget ran out; the final node's failure is wrapped, so
+// errors.Is(err, serve.ErrNodeLost) still holds.
+var ErrResubmitsExhausted = errors.New("router: resubmits exhausted")
+
 // Submit routes one session to its node and blocks until the verdict (or
-// typed failure) is back. Per-node failures come wrapped in a
-// serve.NodeError carrying the node id: a shed node surfaces as
-// errors.Is(err, serve.ErrOverloaded) with the identity attached, a dead
-// one as serve.ErrNodeLost. Routing failures (serve.ErrNoNodes, a
+// typed failure) is back. A session that dies with its node
+// (serve.ErrNodeLost) is resubmitted to the next ring successor up to
+// Config.Resubmits times — the victim is demoted first, so the walk is the
+// deterministic key-dependent failover order — before the loss is
+// surfaced wrapped in ErrResubmitsExhausted. Per-node failures come
+// wrapped in a serve.NodeError carrying the node id: a shed node surfaces
+// as errors.Is(err, serve.ErrOverloaded) with the identity attached, a
+// dead one as serve.ErrNodeLost. Routing failures (serve.ErrNoNodes, a
 // draining router) carry no node.
 func (r *Router) Submit(ctx context.Context, req serve.Request) (*core.Verdict, error) {
+	budget := r.cfg.resubmits()
+	var lastErr error
+	for try := 0; try <= budget; try++ {
+		if try > 0 {
+			metSessionsResubmit.Inc()
+		}
+		v, err := r.submitOnce(ctx, req)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if !errors.Is(err, serve.ErrNodeLost) {
+			return nil, err // typed application or routing failure: final
+		}
+	}
+	if budget > 0 {
+		return nil, fmt.Errorf("%w after %d attempts: %w", ErrResubmitsExhausted, budget+1, lastErr)
+	}
+	return nil, lastErr
+}
+
+// submitOnce runs one routing attempt of a session.
+func (r *Router) submitOnce(ctx context.Context, req serve.Request) (*core.Verdict, error) {
 	n, err := r.pick(routeKey(req))
 	if err != nil {
 		metSessionsRejected.Inc()
@@ -373,6 +428,123 @@ func (r *Router) Submit(ctx context.Context, req serve.Request) (*core.Verdict, 
 	}
 	metSessionsCompleted.Inc()
 	return v, nil
+}
+
+// SubmitStream routes one streamed session, forwarding chunks to the
+// node's stream as they arrive and buffering them so a mid-stream node
+// loss can be resubmitted to the next successor with the full prefix
+// replayed (resubmission is transparent: the client sees one stream and
+// one verdict). Early exits propagate: the node's early verdict resolves
+// the call and remaining inbound chunks are dropped. It satisfies
+// serve.StreamSessionHandler, so it is the front door's chunk handler.
+func (r *Router) SubmitStream(ctx context.Context, req serve.Request, chunks <-chan []float64) (*core.Verdict, error) {
+	budget := r.cfg.resubmits()
+	relay := &streamRelay{src: chunks}
+	var lastErr error
+	for try := 0; try <= budget; try++ {
+		if try > 0 {
+			metSessionsResubmit.Inc()
+		}
+		v, err := r.streamOnce(ctx, req, relay)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if !errors.Is(err, serve.ErrNodeLost) {
+			return nil, err
+		}
+	}
+	if budget > 0 {
+		return nil, fmt.Errorf("%w after %d attempts: %w", ErrResubmitsExhausted, budget+1, lastErr)
+	}
+	return nil, lastErr
+}
+
+// streamRelay buffers the chunks already pulled from the inbound stream so
+// a resubmitted attempt can replay the identical prefix to a new node.
+type streamRelay struct {
+	src    <-chan []float64
+	buf    [][]float64
+	closed bool // src is exhausted
+}
+
+// streamOnce runs one routing attempt of a streamed session: replay the
+// buffered prefix, then forward live chunks until the node answers early,
+// the stream closes, or the node dies.
+func (r *Router) streamOnce(ctx context.Context, req serve.Request, relay *streamRelay) (*core.Verdict, error) {
+	n, err := r.pick(routeKey(req))
+	if err != nil {
+		metSessionsRejected.Inc()
+		return nil, err
+	}
+	defer r.submitWG.Done()
+	defer n.inflight.Add(-1)
+	metSessionsRouted.Inc()
+
+	client, err := r.nodeClient(n)
+	if err != nil {
+		r.noteSessionFailure(n)
+		metSessionsNodeLost.Inc()
+		return nil, &serve.NodeError{Node: n.id,
+			Err: fmt.Errorf("%w (dial: %v)", serve.ErrNodeLost, err)}
+	}
+	v, err := r.relayStream(ctx, client, req, relay)
+	if err != nil {
+		if errors.Is(err, serve.ErrConnLost) {
+			n.dropClient(client)
+			r.noteSessionFailure(n)
+			metSessionsNodeLost.Inc()
+			return nil, &serve.NodeError{Node: n.id,
+				Err: fmt.Errorf("%w (%v)", serve.ErrNodeLost, err)}
+		}
+		metSessionsFailed.Inc()
+		return nil, &serve.NodeError{Node: n.id, Err: err}
+	}
+	metSessionsCompleted.Inc()
+	return v, nil
+}
+
+// relayStream pushes the relay's prefix and live chunks through one node
+// stream and waits for the verdict.
+func (r *Router) relayStream(ctx context.Context, client *serve.Client, req serve.Request, relay *streamRelay) (*core.Verdict, error) {
+	s, err := client.OpenStream(req)
+	if err != nil {
+		return nil, err
+	}
+	feeding := true
+	for _, chunk := range relay.buf {
+		done, err := s.Send(chunk)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			feeding = false
+			break
+		}
+	}
+	for feeding && !relay.closed {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case chunk, ok := <-relay.src:
+			if !ok {
+				relay.closed = true
+				break
+			}
+			relay.buf = append(relay.buf, chunk)
+			done, err := s.Send(chunk)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				feeding = false
+			}
+		}
+	}
+	if err := s.CloseSend(); err != nil {
+		return nil, err
+	}
+	return s.Wait()
 }
 
 // nodeClient returns the node's multiplexed connection, dialing it on
@@ -472,7 +644,7 @@ func (r *Router) handleConn(conn net.Conn) {
 		_ = conn.Close()
 		r.connWG.Done()
 	}()
-	serve.ServeMuxConn(conn, r.Submit)
+	serve.ServeMuxConnStream(conn, r.Submit, r.SubmitStream)
 }
 
 // Shutdown drains the router: no new sessions from the moment it begins

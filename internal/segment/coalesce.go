@@ -1,0 +1,162 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Coalescer batches concurrent span requests into single
+// DetectFramesBatch inference passes: serve workers each own a private
+// Defense, but their segmenters can share one Coalescer, so sessions that
+// arrive together traverse the BRNN weights once per timestep for the
+// whole batch instead of once per session. A request that arrives alone
+// runs alone — the dispatcher never waits for a batch to fill, so an idle
+// server adds no latency.
+//
+// Coalescer satisfies the detector.Segmenter interface structurally
+// (EffectiveSpans), letting it drop in as the segmenter of every worker's
+// Defense.
+
+// ErrCoalescerClosed is returned by EffectiveSpans after Close.
+var ErrCoalescerClosed = errors.New("segment: coalescer closed")
+
+// coalesceReq is one enqueued span request.
+type coalesceReq struct {
+	audio []float64
+	reply chan coalesceResp
+}
+
+type coalesceResp struct {
+	frames []bool
+	err    error
+}
+
+// Coalescer is safe for concurrent use; Close releases the dispatcher.
+type Coalescer struct {
+	det      *Detector
+	maxBatch int
+	reqs     chan coalesceReq
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCoalescer starts a batching dispatcher over the detector. maxBatch
+// caps one inference batch (default 8; larger batches trade per-session
+// latency for weight-traversal amortization).
+func NewCoalescer(det *Detector, maxBatch int) *Coalescer {
+	if maxBatch <= 0 {
+		maxBatch = 8
+	}
+	c := &Coalescer{
+		det:      det,
+		maxBatch: maxBatch,
+		reqs:     make(chan coalesceReq, 4*maxBatch),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.dispatch()
+	return c
+}
+
+// Close stops the dispatcher; pending and later requests fail with
+// ErrCoalescerClosed. Idempotent.
+func (c *Coalescer) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// EffectiveSpans enqueues the recording, waits for its batch to run, and
+// returns the merged spans — identical to Detector.DetectFrames + Spans
+// on the same audio, whatever batch it lands in.
+func (c *Coalescer) EffectiveSpans(audio []float64) ([]Span, error) {
+	reply := make(chan coalesceResp, 1)
+	select {
+	case c.reqs <- coalesceReq{audio: audio, reply: reply}:
+	case <-c.stop:
+		return nil, ErrCoalescerClosed
+	}
+	var resp coalesceResp
+	select {
+	case resp = <-reply:
+	case <-c.done:
+		// Close raced the enqueue (a ready send and a closed stop channel
+		// select randomly): the dispatcher may have answered on its way
+		// out, or exited without ever seeing the request.
+		select {
+		case resp = <-reply:
+		default:
+			return nil, ErrCoalescerClosed
+		}
+	}
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return c.det.Spans(resp.frames), nil
+}
+
+// dispatch drains the queue: one blocking take, then a non-blocking sweep
+// up to maxBatch, one batched inference for whatever arrived together.
+func (c *Coalescer) dispatch() {
+	defer close(c.done)
+	for {
+		var first coalesceReq
+		select {
+		case <-c.stop:
+			c.drainClosed()
+			return
+		case first = <-c.reqs:
+		}
+		batch := []coalesceReq{first}
+		for len(batch) < c.maxBatch {
+			var more coalesceReq
+			select {
+			case more = <-c.reqs:
+				batch = append(batch, more)
+				continue
+			default:
+			}
+			break
+		}
+		c.run(batch)
+	}
+}
+
+// run executes one batch. A failed batch pass falls back to per-recording
+// DetectFrames so each request gets its own error (a corrupt recording in
+// the batch must not fail its neighbors).
+func (c *Coalescer) run(batch []coalesceReq) {
+	audios := make([][]float64, len(batch))
+	for i, r := range batch {
+		audios[i] = r.audio
+	}
+	frames, err := c.det.DetectFramesBatch(audios)
+	if err == nil {
+		for i, r := range batch {
+			r.reply <- coalesceResp{frames: frames[i]}
+		}
+		return
+	}
+	for _, r := range batch {
+		f, ferr := c.det.DetectFrames(r.audio)
+		if ferr != nil {
+			ferr = fmt.Errorf("segment: coalesced detect: %w", ferr)
+		}
+		r.reply <- coalesceResp{frames: f, err: ferr}
+	}
+}
+
+// drainClosed answers every request still queued at Close time.
+func (c *Coalescer) drainClosed() {
+	for {
+		select {
+		case r := <-c.reqs:
+			r.reply <- coalesceResp{err: ErrCoalescerClosed}
+		default:
+			return
+		}
+	}
+}

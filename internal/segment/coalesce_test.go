@@ -1,0 +1,164 @@
+package segment
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"vibguard/internal/selection"
+)
+
+// coalesceDetector builds a small untrained detector (weights are seeded,
+// so outputs are deterministic — training is irrelevant to batching
+// semantics) plus a few real utterance recordings to push through it.
+func coalesceDetector(t *testing.T) (*Detector, [][]float64) {
+	t.Helper()
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	utts := trainingUtterances(t, 2, 2)
+	audios := [][]float64{
+		utts[0].Samples,
+		utts[1].Samples,
+		utts[2].Samples[:4000],
+		utts[3].Samples,
+		make([]float64, 10), // too short to frame: empty spans, no error
+	}
+	return d, audios
+}
+
+// TestCoalescerMatchesDirect is the transparency contract: spans through
+// the coalescer are identical to DetectFrames+Spans on the same audio,
+// whatever batch each request lands in — including many concurrent
+// callers, which is exactly the serve-worker pattern that forms batches.
+func TestCoalescerMatchesDirect(t *testing.T) {
+	d, audios := coalesceDetector(t)
+	want := make([][]Span, len(audios))
+	for i, audio := range audios {
+		frames, err := d.DetectFrames(audio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = d.Spans(frames)
+	}
+
+	c := NewCoalescer(d, 4)
+	defer c.Close()
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(audios))
+	for r := 0; r < rounds; r++ {
+		for i := range audios {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := c.EffectiveSpans(audios[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != len(want[i]) {
+					t.Errorf("audio %d: %d spans via coalescer, want %d", i, len(got), len(want[i]))
+					return
+				}
+				for s := range got {
+					if got[s] != want[i][s] {
+						t.Errorf("audio %d span %d: %+v != direct %+v", i, s, got[s], want[i][s])
+						return
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCoalescerSolo pins the no-waiting property: a single request with no
+// neighbors completes (the dispatcher must not hold it hoping for a batch).
+func TestCoalescerSolo(t *testing.T) {
+	d, audios := coalesceDetector(t)
+	c := NewCoalescer(d, 8)
+	defer c.Close()
+	spans, err := c.EffectiveSpans(audios[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.DetectFrames(audios[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct := d.Spans(frames); len(spans) != len(direct) {
+		t.Fatalf("solo request: %d spans, want %d", len(spans), len(direct))
+	}
+}
+
+// TestCoalescerClose pins shutdown: requests after Close fail with
+// ErrCoalescerClosed, Close is idempotent, and nothing deadlocks.
+func TestCoalescerClose(t *testing.T) {
+	d, audios := coalesceDetector(t)
+	c := NewCoalescer(d, 4)
+	c.Close()
+	c.Close()
+	if _, err := c.EffectiveSpans(audios[0]); !errors.Is(err, ErrCoalescerClosed) {
+		t.Fatalf("EffectiveSpans after Close = %v, want ErrCoalescerClosed", err)
+	}
+}
+
+// BenchmarkSpansDirect / BenchmarkSpansCoalesced pin the allocation story
+// of satellite 2: eight concurrent sessions through one coalescer must do
+// one batched weight traversal per wave rather than eight, and allocate no
+// more per session than the direct path (compare benchmem numbers).
+func BenchmarkSpansDirect(b *testing.B) {
+	d, audio := benchDetector(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			frames, err := d.DetectFrames(audio)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Spans(frames)
+		}
+	})
+}
+
+func BenchmarkSpansCoalesced(b *testing.B) {
+	d, audio := benchDetector(b)
+	c := NewCoalescer(d, 8)
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.EffectiveSpans(audio); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchDetector(b *testing.B) (*Detector, []float64) {
+	b.Helper()
+	d, err := NewDetector(selection.CanonicalSelected(), smallModelCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One second of deterministic pseudo-audio; content does not matter
+	// for the batching cost being measured.
+	audio := make([]float64, 16000)
+	x := uint64(88172645463325252)
+	for i := range audio {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		audio[i] = float64(int64(x)) / (1 << 63)
+	}
+	return d, audio
+}

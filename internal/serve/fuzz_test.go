@@ -36,6 +36,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	})}))
 	f.Add(AppendFrame(nil, Frame{Type: FrameError, Stream: 9, Payload: AppendErrorPayload(nil,
 		&NodeError{Node: "node2", Err: ErrOverloaded})}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameChunk, Stream: 11, Payload: AppendChunkPayload(nil, wireChunk{
+		Header:  true,
+		Req:     Request{UserID: "user-2", WearableAddr: "127.0.0.1:9001", RNGSeed: 7},
+		Samples: []float64{0.125, -0.25},
+	})}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameChunk, Stream: 11, Payload: AppendChunkPayload(nil, wireChunk{
+		Final: true, Samples: []float64{1e-4},
+	})}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameVerdictEarly, Stream: 13, Payload: AppendEarlyVerdictPayload(nil, wireVerdict{
+		Score: 0.9, Attack: false, SyncOffset: 320, Spans: 2,
+	}, 48000)}))
 	f.Add([]byte{})                                            // clean EOF
 	f.Add([]byte{WireVersion})                                 // truncated after version
 	f.Add([]byte{0xff, 0x01})                                  // unknown version
@@ -75,7 +86,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
 		}
-		if frame.Type < FrameRequest || frame.Type > FramePong {
+		if frame.Type < FrameRequest || frame.Type > FrameVerdictEarly {
 			t.Fatalf("decoded out-of-range frame type %d", frame.Type)
 		}
 		if len(frame.Payload) > MaxFramePayload {
@@ -121,6 +132,14 @@ func FuzzDecodeFrame(f *testing.F) {
 		case FrameError:
 			if _, perr := DecodeErrorPayload(frame.Payload); perr != nil && !errors.Is(perr, ErrMalformedFrame) {
 				t.Fatalf("untyped error payload error: %v", perr)
+			}
+		case FrameChunk:
+			if _, perr := DecodeChunkPayload(frame.Payload); perr != nil && !errors.Is(perr, ErrMalformedFrame) {
+				t.Fatalf("untyped chunk payload error: %v", perr)
+			}
+		case FrameVerdictEarly:
+			if _, _, perr := DecodeEarlyVerdictPayload(frame.Payload); perr != nil && !errors.Is(perr, ErrMalformedFrame) {
+				t.Fatalf("untyped early-verdict payload error: %v", perr)
 			}
 		}
 	})

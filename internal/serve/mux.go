@@ -61,48 +61,7 @@ type SessionHandler func(ctx context.Context, req Request) (*core.Verdict, error
 // what lets a drain half-close the connection and still flush final
 // verdicts. The caller owns closing conn.
 func ServeMuxConn(conn net.Conn, handle SessionHandler) {
-	br := bufio.NewReader(conn)
-	w := newFrameWriter(conn)
-	var streams sync.WaitGroup
-	for {
-		f, err := ReadFrame(br)
-		if err != nil {
-			break // EOF, half-close, or an unrecoverable framing error
-		}
-		switch f.Type {
-		case FramePing:
-			_ = w.write(Frame{Type: FramePong, Stream: f.Stream})
-		case FrameRequest:
-			req, err := DecodeRequestPayload(f.Payload)
-			if err != nil {
-				_ = w.write(Frame{Type: FrameError, Stream: f.Stream,
-					Payload: AppendErrorPayload(nil, err)})
-				continue
-			}
-			streams.Add(1)
-			go func(stream uint64, req Request) {
-				defer streams.Done()
-				v, err := handle(context.Background(), req)
-				if err != nil {
-					_ = w.write(Frame{Type: FrameError, Stream: stream,
-						Payload: AppendErrorPayload(nil, err)})
-					return
-				}
-				_ = w.write(Frame{Type: FrameVerdict, Stream: stream,
-					Payload: AppendVerdictPayload(nil, wireVerdict{
-						Score: v.Score, Attack: v.Attack,
-						SyncOffset: v.SyncOffset, Spans: len(v.Spans),
-					})})
-			}(f.Stream, req)
-		default:
-			// Verdict/error frames never flow client→server; a peer that
-			// sends one is broken, so stop reading (in-flight streams
-			// still flush below).
-			streams.Wait()
-			return
-		}
-	}
-	streams.Wait()
+	ServeMuxConnStream(conn, handle, nil)
 }
 
 // PingConn performs one ping/pong round trip on a raw connection within
@@ -196,6 +155,16 @@ func (c *Client) readLoop() {
 			}
 			c.deliver(f.Stream, clientResult{verdict: &core.Verdict{
 				Score: v.Score, Attack: v.Attack, SyncOffset: v.SyncOffset,
+			}})
+		case FrameVerdictEarly:
+			v, consumed, err := DecodeEarlyVerdictPayload(f.Payload)
+			if err != nil {
+				c.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+				return
+			}
+			c.deliver(f.Stream, clientResult{verdict: &core.Verdict{
+				Score: v.Score, Attack: v.Attack, SyncOffset: v.SyncOffset,
+				Early: true, Consumed: consumed,
 			}})
 		case FrameError:
 			sessErr, err := DecodeErrorPayload(f.Payload)

@@ -20,4 +20,8 @@ var (
 	gaugeWorkers        = obs.Default().Gauge("serve.workers")
 	histSessionLatency  = obs.Default().Histogram("serve.session.latency_seconds")
 	histQueueWait       = obs.Default().Histogram("serve.session.queue_wait_seconds")
+
+	// Streamed-session split: how many streamed sessions ended on the
+	// early exit vs. ran the stream to completion plus batch fallback.
+	metStreamSessionsEarly = obs.Default().Counter("serve.sessions.stream_early")
 )

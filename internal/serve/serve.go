@@ -103,6 +103,10 @@ type Config struct {
 	// the wearable fetch (non-positive keeps the syncnet defaults).
 	DialTimeout    time.Duration
 	RequestTimeout time.Duration
+	// Stream tunes the streamed-session pipeline (SubmitStream); the zero
+	// value uses the core.StreamConfig defaults at the pipeline sample
+	// rate.
+	Stream core.StreamConfig
 }
 
 // withDefaults fills in defaults and validates the configuration.

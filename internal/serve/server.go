@@ -27,6 +27,10 @@ type session struct {
 	req      Request
 	ctx      context.Context
 	enqueued time.Time
+	// chunks is non-nil for a streamed session: VA audio arrives on it
+	// instead of req.VARecording, and the worker runs the streaming
+	// pipeline (early exit included) until the channel closes.
+	chunks <-chan []float64
 	// done receives the single terminal result. It is buffered so a
 	// worker finishing an abandoned session never blocks.
 	done chan sessionResult
@@ -94,11 +98,33 @@ func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
 // deadline expires first, Submit returns ErrSessionTimeout and the worker
 // abandons the session.
 func (s *Server) Submit(ctx context.Context, req Request) (*core.Verdict, error) {
-	if req.WearableAddr == "" {
-		return nil, fmt.Errorf("serve: session needs a wearable address")
-	}
 	if len(req.VARecording) == 0 {
 		return nil, fmt.Errorf("serve: session needs a VA recording")
+	}
+	return s.submitSession(ctx, req, nil)
+}
+
+// SubmitStream admits one streamed session: the request carries the
+// session fields (its VARecording must be empty), VA audio arrives on
+// chunks, and the call blocks until the verdict — which the streaming
+// pipeline may reach before chunks closes (Verdict.Early). Admission,
+// shedding, draining, and timeout semantics match Submit. It satisfies
+// StreamSessionHandler, so it is the front door's chunk-frame handler.
+func (s *Server) SubmitStream(ctx context.Context, req Request, chunks <-chan []float64) (*core.Verdict, error) {
+	if len(req.VARecording) != 0 {
+		return nil, fmt.Errorf("serve: streamed session carries audio in chunks, not the request")
+	}
+	if chunks == nil {
+		return nil, fmt.Errorf("serve: streamed session needs a chunk channel")
+	}
+	return s.submitSession(ctx, req, chunks)
+}
+
+// submitSession is the shared admission + wait path of Submit and
+// SubmitStream.
+func (s *Server) submitSession(ctx context.Context, req Request, chunks <-chan []float64) (*core.Verdict, error) {
+	if req.WearableAddr == "" {
+		return nil, fmt.Errorf("serve: session needs a wearable address")
 	}
 	sctx, cancel := context.WithTimeout(ctx, s.cfg.SessionTimeout)
 	defer cancel()
@@ -107,6 +133,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*core.Verdict, error)
 		req:      req,
 		ctx:      sctx,
 		enqueued: time.Now(),
+		chunks:   chunks,
 		done:     make(chan sessionResult, 1),
 	}
 
@@ -206,8 +233,53 @@ func (s *Server) process(defense *core.Defense, clients map[string]*syncnet.Reli
 	if seed == 0 {
 		seed = SessionSeed(s.cfg.Seed, sess.id)
 	}
+	if sess.chunks != nil {
+		s.processStream(defense, sess, wear, seed)
+		return
+	}
 	verdict, err := defense.Inspect(sess.req.VARecording, wear, rand.New(rand.NewSource(seed)))
 	s.finish(sess, verdict, err)
+}
+
+// processStream runs one streamed session: the wearable recording seeds
+// the inspector up front (it is fetched whole, like a batch session's),
+// then VA chunks feed the streaming pipeline until an early exit fires or
+// the stream closes and the batch fallback decides. The session deadline
+// keeps covering the stream: an expired context fails the session even
+// mid-stream.
+func (s *Server) processStream(defense *core.Defense, sess *session, wear []float64, seed int64) {
+	si, err := defense.NewStreamInspector(s.cfg.Stream, seed)
+	if err != nil {
+		s.finish(sess, nil, err)
+		return
+	}
+	if err := si.FeedWearable(wear); err != nil {
+		s.finish(sess, nil, err)
+		return
+	}
+	for {
+		select {
+		case <-sess.ctx.Done():
+			s.finish(sess, nil, sessionCtxError(sess.ctx.Err()))
+			return
+		case chunk, ok := <-sess.chunks:
+			if !ok {
+				v, err := si.Finish()
+				s.finish(sess, v, err)
+				return
+			}
+			v, err := si.Feed(chunk)
+			if err != nil {
+				s.finish(sess, nil, err)
+				return
+			}
+			if v != nil {
+				metStreamSessionsEarly.Inc()
+				s.finish(sess, v, nil)
+				return
+			}
+		}
+	}
 }
 
 // sessionCtxError maps a session-context error to the typed server error.
@@ -393,7 +465,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		_ = conn.Close()
 		s.connWG.Done()
 	}()
-	ServeMuxConn(conn, s.Submit)
+	ServeMuxConnStream(conn, s.Submit, s.SubmitStream)
 }
 
 // Kill abruptly severs the server's network presence — the listener and

@@ -17,7 +17,7 @@ import (
 // the first verdict). A frame is:
 //
 //	byte 0   protocol version (WireVersion)
-//	byte 1   frame type (FrameRequest … FramePong)
+//	byte 1   frame type (FrameRequest … FrameVerdictEarly)
 //	uvarint  stream id — many concurrent sessions multiplex one TCP
 //	         connection, each tagged with the stream that owns it
 //	uvarint  payload length (0 … MaxFramePayload)
@@ -47,6 +47,15 @@ const (
 	// pong.
 	FramePing = byte(4)
 	FramePong = byte(5)
+	// FrameChunk carries one streamed VA audio chunk (chunk payload). The
+	// first chunk of a stream sets the header flag and carries the session
+	// fields of a request; the last sets the final flag. Chunks interleave
+	// freely with other streams' frames on the shared connection.
+	FrameChunk = byte(6)
+	// FrameVerdictEarly carries a verdict reached before the stream ended
+	// (verdict payload plus the consumed-sample count). The sender stops
+	// reading the stream's remaining chunks after it.
+	FrameVerdictEarly = byte(7)
 )
 
 // MaxFramePayload caps a frame payload. The largest legitimate frame is a
@@ -121,7 +130,7 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 	if err != nil {
 		return Frame{}, truncated(err)
 	}
-	if typ < FrameRequest || typ > FramePong {
+	if typ < FrameRequest || typ > FrameVerdictEarly {
 		return Frame{}, fmt.Errorf("%w: %d", ErrUnknownFrameType, typ)
 	}
 	stream, err := readUvarint(br)
@@ -161,7 +170,7 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 		return Frame{}, 0, io.ErrUnexpectedEOF
 	}
 	typ := data[1]
-	if typ < FrameRequest || typ > FramePong {
+	if typ < FrameRequest || typ > FrameVerdictEarly {
 		return Frame{}, 0, fmt.Errorf("%w: %d", ErrUnknownFrameType, typ)
 	}
 	off := 2
@@ -443,6 +452,135 @@ func DecodeErrorPayload(p []byte) (error, error) {
 		sessErr = &NodeError{Node: node, Err: sessErr}
 	}
 	return sessErr, nil
+}
+
+// --- Chunk payload ---------------------------------------------------
+//
+// A chunk payload carries one streamed slice of the VA recording:
+//
+//	byte                 flags (bit 0: header chunk — session fields
+//	                     follow; bit 1: final chunk of the stream)
+//	header fields        only when the header flag is set: UserID,
+//	                     WearableAddr (uvarint len + bytes each) and
+//	                     RNGSeed (8 bytes, int64 bits, little-endian)
+//	uvarint count        sample count (may be 0, e.g. a bare final chunk)
+//	count × 8 bytes      samples (float64 bits, little-endian)
+//
+// The first chunk of every stream must set the header flag; the stream is
+// closed by a chunk with the final flag (which may itself carry samples).
+
+const (
+	chunkFlagHeader = byte(1)
+	chunkFlagFinal  = byte(2)
+)
+
+// wireChunk is one decoded stream chunk.
+type wireChunk struct {
+	Header  bool
+	Final   bool
+	Req     Request // UserID/WearableAddr/RNGSeed; only valid when Header
+	Samples []float64
+}
+
+// AppendChunkPayload appends the encoded chunk to dst. Req's VARecording
+// field is ignored; samples travel in the chunk's own sample block.
+func AppendChunkPayload(dst []byte, c wireChunk) []byte {
+	var flags byte
+	if c.Header {
+		flags |= chunkFlagHeader
+	}
+	if c.Final {
+		flags |= chunkFlagFinal
+	}
+	dst = append(dst, flags)
+	if c.Header {
+		dst = appendString(dst, c.Req.UserID)
+		dst = appendString(dst, c.Req.WearableAddr)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Req.RNGSeed))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(c.Samples)))
+	for _, s := range c.Samples {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s))
+	}
+	return dst
+}
+
+// DecodeChunkPayload decodes a chunk payload with the same hardening as
+// DecodeRequestPayload: the sample count is validated against the bytes
+// actually present before the sample slice is allocated.
+func DecodeChunkPayload(p []byte) (wireChunk, error) {
+	var c wireChunk
+	if len(p) < 1 {
+		return c, fmt.Errorf("%w: empty chunk payload", ErrMalformedFrame)
+	}
+	flags := p[0]
+	if flags&^(chunkFlagHeader|chunkFlagFinal) != 0 {
+		return c, fmt.Errorf("%w: chunk flags %#x", ErrMalformedFrame, flags)
+	}
+	c.Header = flags&chunkFlagHeader != 0
+	c.Final = flags&chunkFlagFinal != 0
+	p = p[1:]
+	var err error
+	if c.Header {
+		if c.Req.UserID, p, err = takeString(p); err != nil {
+			return wireChunk{}, err
+		}
+		if c.Req.WearableAddr, p, err = takeString(p); err != nil {
+			return wireChunk{}, err
+		}
+		if len(p) < 8 {
+			return wireChunk{}, fmt.Errorf("%w: truncated seed", ErrMalformedFrame)
+		}
+		c.Req.RNGSeed = int64(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	}
+	count, n, err := uvarintAt(p, 0)
+	if err != nil {
+		return wireChunk{}, fmt.Errorf("%w: chunk sample count", ErrMalformedFrame)
+	}
+	p = p[n:]
+	if uint64(len(p)) != count*8 || count > MaxFramePayload/8 {
+		return wireChunk{}, fmt.Errorf("%w: %d samples in %d payload bytes", ErrMalformedFrame, count, len(p))
+	}
+	if count > 0 {
+		c.Samples = make([]float64, count)
+		for i := range c.Samples {
+			c.Samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+		}
+	}
+	return c, nil
+}
+
+// --- Early-verdict payload -------------------------------------------
+//
+// An early-verdict payload is a verdict payload followed by:
+//
+//	uvarint  consumed VA samples when the verdict fired
+
+// AppendEarlyVerdictPayload appends the encoded early verdict to dst.
+func AppendEarlyVerdictPayload(dst []byte, v wireVerdict, consumed int) []byte {
+	dst = AppendVerdictPayload(dst, v)
+	return binary.AppendUvarint(dst, uint64(consumed))
+}
+
+// DecodeEarlyVerdictPayload decodes an early-verdict payload.
+func DecodeEarlyVerdictPayload(p []byte) (wireVerdict, int, error) {
+	v, err := DecodeVerdictPayload(p)
+	if err != nil {
+		return v, 0, err
+	}
+	// Re-walk the verdict prefix to find the consumed field. The verdict
+	// payload is flags+score (9 bytes), a varint, and a uvarint.
+	off := 9
+	_, n := binary.Varint(p[off:])
+	off += n
+	_, n = binary.Uvarint(p[off:])
+	off += n
+	consumed, _, err := uvarintAt(p, off)
+	if err != nil || consumed > MaxFramePayload {
+		return v, 0, fmt.Errorf("%w: consumed count", ErrMalformedFrame)
+	}
+	return v, int(consumed), nil
 }
 
 // appendString appends a uvarint-length-prefixed string to dst.

@@ -1,0 +1,124 @@
+package syncnet
+
+import (
+	"math"
+
+	"vibguard/internal/dsp"
+)
+
+// StreamAligner estimates the wearable offset of Eq. (5) incrementally as
+// chunks arrive: the first usable prefix gets a coarse decimated
+// correlation search over the whole lag range, later prefixes refine the
+// estimate with a cheap direct search in a narrow window around it (and
+// fall back to a full search if the refinement runs into the window edge —
+// the coarse estimate was wrong). The estimate is reported stable once two
+// consecutive evaluations agree within a couple of samples; the streaming
+// pipeline only trusts a stable offset for provisional early-exit scoring.
+// The batch path's final alignment (AlignRecordings on the complete
+// recordings) remains the authoritative one.
+//
+// Not safe for concurrent use.
+type StreamAligner struct {
+	maxLagSeconds float64
+	sampleRate    float64
+
+	minVA        int // VA samples required before the first estimate
+	refineWindow int // half-width of the refinement search, in samples
+
+	tau          int
+	haveEstimate bool
+	stableRuns   int
+}
+
+// stableTolerance is the sample slack within which two consecutive
+// estimates count as agreeing.
+const stableTolerance = 2
+
+// NewStreamAligner builds an incremental delay estimator with the same lag
+// bound semantics as AlignRecordings.
+func NewStreamAligner(maxLagSeconds, sampleRate float64) *StreamAligner {
+	minVA := int(0.25 * sampleRate)
+	if minVA < 16 {
+		minVA = 16
+	}
+	refine := int(0.025 * sampleRate)
+	if refine < 8 {
+		refine = 8
+	}
+	return &StreamAligner{
+		maxLagSeconds: maxLagSeconds,
+		sampleRate:    sampleRate,
+		minVA:         minVA,
+		refineWindow:  refine,
+	}
+}
+
+// maxLag replicates the batch clamp of AlignRecordings: the float-domain
+// product first (a non-finite or absurd value must not hit the int
+// conversion), then the wearable length.
+func (a *StreamAligner) maxLag(wearLen int) int {
+	lagf := a.maxLagSeconds * a.sampleRate
+	if math.IsNaN(lagf) || lagf < 0 {
+		lagf = 0
+	}
+	maxLag := wearLen - 1
+	if lagf < float64(maxLag) {
+		maxLag = int(lagf)
+	}
+	return maxLag
+}
+
+// Estimate updates the delay estimate from the current recording prefixes
+// and returns it together with whether it is stable (two consecutive
+// evaluations agreeing within stableTolerance samples). Before enough VA
+// audio has arrived it returns (0, false) without searching.
+func (a *StreamAligner) Estimate(va, wear []float64) (tau int, stable bool) {
+	if len(va) < a.minVA || len(wear) == 0 {
+		return a.tau, false
+	}
+	maxLag := a.maxLag(len(wear))
+	if !a.haveEstimate {
+		// Coarse pass: decimated envelope search over the full lag range.
+		a.tau = dsp.EstimateDelayFast(va, wear, maxLag)
+		a.haveEstimate = true
+		a.stableRuns = 0
+		return a.tau, false
+	}
+	lo, hi := a.tau-a.refineWindow, a.tau+a.refineWindow
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > maxLag {
+		hi = maxLag
+	}
+	t := dsp.EstimateDelayRange(va, wear, lo, hi)
+	if (t == lo && lo > 0) || (t == hi && hi < maxLag) {
+		// The peak sits at the window edge: the coarse estimate missed.
+		// Redo the full search and restart the stability count.
+		t = dsp.EstimateDelay(va, wear, maxLag)
+		a.stableRuns = 0
+	} else if abs(t-a.tau) <= stableTolerance {
+		a.stableRuns++
+	} else {
+		a.stableRuns = 0
+	}
+	a.tau = t
+	return a.tau, a.stableRuns >= 1
+}
+
+// Offset returns the current delay estimate (0 before the first Estimate).
+func (a *StreamAligner) Offset() int { return a.tau }
+
+// Final runs the exact batch alignment on the complete recordings —
+// byte-for-byte AlignRecordings — so the fallback path of the streaming
+// pipeline matches the batch pipeline bit for bit.
+func (a *StreamAligner) Final(va, wear []float64) ([]float64, int, error) {
+	return AlignRecordings(va, wear, a.maxLagSeconds, a.sampleRate)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# stream_smoke.sh — streaming-pipeline smoke test (make stream-smoke).
+#
+# Boots vibguardd in -serve -stream mode with an ephemeral debug listener:
+# every fleet session runs the batch inspection and then streams the
+# identical seeded session chunk by chunk, cross-checking the verdicts.
+# Asserts the stream pass finished with early exits and zero divergence,
+# scrapes /metrics for the streaming counters, then stops the daemon and
+# asserts it drains cleanly.
+set -euo pipefail
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$tmp/vibguardd" ./cmd/vibguardd
+"$tmp/vibguardd" -serve -stream -seed 1 -sessions 16 -wearables 8 \
+    -debug-addr 127.0.0.1:0 -log-format text >"$tmp/log" 2>&1 &
+pid=$!
+
+die() {
+    echo "stream-smoke: $1" >&2
+    echo "--- vibguardd log ---" >&2
+    cat "$tmp/log" >&2
+    exit 1
+}
+
+# The daemon logs the resolved debug address before training starts.
+addr=""
+for _ in $(seq 1 120); do
+    addr=$(sed -n 's/.*debug endpoints serving.*addr=\([0-9.:]*\).*/\1/p' "$tmp/log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || die "daemon exited before serving"
+    sleep 0.5
+done
+[ -n "$addr" ] || die "no debug address logged"
+
+# Wait for both passes: the batch fleet pass and the streamed cross-check.
+for _ in $(seq 1 360); do
+    grep -q "stream pass complete" "$tmp/log" && break
+    kill -0 "$pid" 2>/dev/null || die "daemon exited before finishing the stream pass"
+    sleep 0.5
+done
+grep -q "stream pass complete" "$tmp/log" || die "stream pass did not finish"
+
+# The batch pass must be clean (it is the reference the stream is checked
+# against), and every streamed verdict must agree with it.
+fleet=$(grep "fleet pass complete" "$tmp/log" | head -1)
+echo "$fleet" | grep -q "failed=0" || die "fleet pass had failed sessions: $fleet"
+echo "$fleet" | grep -q "mismatches=0" || die "fleet pass had verdict mismatches: $fleet"
+pass=$(grep "stream pass complete" "$tmp/log" | head -1)
+echo "$pass" | grep -q "stream_mismatches=0" || die "streamed verdicts diverged from batch: $pass"
+echo "$pass" | grep -q "early_exits=0" && die "no session exited early: $pass"
+
+# The streaming pipeline counters must have moved: verdict latency
+# histogram, the early-exit/full-run split, and the VAD admission gate.
+metrics=$(curl -fsS "http://$addr/metrics") || die "/metrics fetch failed"
+for name in pipeline.time_to_verdict_seconds pipeline.early_exit \
+            pipeline.full_run vad.gated_frames pipeline.stream.evals; do
+    echo "$metrics" | grep -q "\"$name\"" || die "/metrics missing $name"
+done
+echo "$metrics" | grep -q '"pipeline.early_exit": 0' && die "early-exit counter is zero"
+echo "$metrics" | grep -q '"vad.gated_frames": 0' && die "vad gate counter is zero"
+
+kill -TERM "$pid"
+for _ in $(seq 1 120); do
+    grep -q "session server drained" "$tmp/log" && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.5
+done
+grep -q "session server drained" "$tmp/log" || die "server did not log a clean drain"
+wait "$pid" || die "daemon exited nonzero"
+pid=""
+
+echo "stream-smoke: ok (debug addr $addr)"
