@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn route-race route-smoke bench-wire stream-race stream-smoke bench-stream
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn route-race route-smoke bench-wire stream-race stream-smoke bench-stream profile-race profile-smoke
 
 build:
 	$(GO) build ./...
@@ -118,6 +118,19 @@ stream-race:
 # VAD counters moved on /metrics.
 stream-smoke:
 	./scripts/stream_smoke.sh
+
+# Per-user profile race gate: the race detector over the profile store
+# (concurrent observe/evict/snapshot), the fused serve path, and the
+# router's stream-relay abort — the layers the profile feature crosses.
+profile-race:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 10m ./internal/profile/ ./internal/serve/ ./internal/router/ ./internal/core/
+
+# Per-user profile smoke test: boot vibguardd -profiles, assert the
+# second calibration pass hits the threshold cache, fused scores
+# reproduce bit-for-bit, and the store snapshot round-trips.
+profile-smoke:
+	./scripts/profile_smoke.sh
 
 # Time-to-verdict baseline: batch vs streamed arms over the trained-BRNN
 # acoustic corpus at real-time pace, regenerating the checked-in

@@ -34,11 +34,19 @@
 //	          [-stream] [-chunk-ms 100]
 //	vibguardd -route [-nodes 3] [-chaos-kill -1] [-serve-addr 127.0.0.1:0]
 //	          [-sessions 48] [-wearables 8]
+//	vibguardd -profiles [-users 4] [-serve-addr 127.0.0.1:0]
+//	          [-serve-workers 1]
 //
 // With -route the daemon boots N in-process detection nodes behind the
 // consistent-hash session router (internal/router) and drives the burst
 // through the router's multiplexed TCP front-door; -chaos-kill hard-kills
 // one node mid-burst to demonstrate typed node-loss errors and failover.
+//
+// With -profiles the daemon boots the session server with the per-user
+// profile store enabled and drives two calibration passes of fused
+// two-wearable sessions per simulated user: the second pass must hit the
+// worker's threshold cache and reproduce every fused score bit-for-bit,
+// and the store round-trips through its snapshot file; see profiles.go.
 //
 // With -serve -stream each session additionally runs through the chunked
 // streaming protocol: audio crosses the wire in -chunk-ms chunks and the
@@ -86,6 +94,8 @@ func main() {
 	routeMode := flag.Bool("route", false, "boot N in-process serve nodes behind the consistent-hash router and drive the burst through its front-door")
 	nodeCount := flag.Int("nodes", 3, "serve node count behind the router (-route)")
 	chaosKill := flag.Int("chaos-kill", -1, "node index to hard-kill mid-burst, -1 = none (-route)")
+	profileMode := flag.Bool("profiles", false, "run the session server with the per-user profile store and drive two fused multi-wearable calibration passes")
+	profileUsers := flag.Int("users", 4, "simulated wearable-paired user count (-profiles)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -105,6 +115,19 @@ func main() {
 	}
 	logger.Info("starting", "seed", *seed, "spl", *attackSPL, "retries", *retries, "serve", *serveMode, "route", *routeMode)
 
+	if *profileMode {
+		opts := profileOptions{
+			addr:      *serveAddr,
+			users:     *profileUsers,
+			workers:   *serveWorkers,
+			attackSPL: *attackSPL,
+		}
+		if err := runProfiles(logger, opts, *debugAddr, *seed); err != nil {
+			logger.Error("fatal", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *routeMode {
 		opts := routeOptions{
 			addr:       *serveAddr,

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vibguard"
+	"vibguard/internal/core"
+	"vibguard/internal/device"
+	"vibguard/internal/obs"
+	"vibguard/internal/profile"
+	"vibguard/internal/segment"
+	"vibguard/internal/serve"
+	"vibguard/internal/syncnet"
+)
+
+// profileOptions configures the -profiles fleet pass.
+type profileOptions struct {
+	addr      string
+	users     int
+	workers   int
+	attackSPL float64
+}
+
+// profileUser is one simulated wearable-paired user of the -profiles
+// pass: a watch and an earbud that both heard the same command, each with
+// its own seeded network delay.
+type profileUser struct {
+	id     string
+	watch  *syncnet.WearableAgent
+	earbud *syncnet.WearableAgent
+}
+
+// profileFleet is the -profiles pass fixture: per-user legitimate agent
+// pairs, one shared attack pair, and the matching VA-side recordings.
+type profileFleet struct {
+	users    []*profileUser
+	attacker *profileUser
+	legitVA  []float64
+	attackVA []float64
+	close    func()
+}
+
+// buildProfileFleet synthesizes one command, renders the legitimate and
+// thru-barrier acoustic paths, and boots a watch+earbud agent pair per
+// user (legitimate audio) plus one shared attack pair, so the pass can
+// demonstrate fused detection on both kinds of sessions.
+func buildProfileFleet(logger *slog.Logger, rng *rand.Rand, users int, attackSPL float64) (*profileFleet, error) {
+	user := vibguard.NewVoicePool(1, rng.Int63())[0]
+	synth, err := vibguard.NewSynthesizer(user)
+	if err != nil {
+		return nil, err
+	}
+	cmd := vibguard.Commands()[rng.Intn(len(vibguard.Commands()))]
+	utt, err := synth.Synthesize(cmd)
+	if err != nil {
+		return nil, err
+	}
+	room := vibguard.Rooms()[0]
+	logger.Info("profile fleet setup",
+		"command", cmd.Text, "speaker", user.Name, "room", room.Name, "users", users)
+
+	transmit := func(spl, dist float64, thru bool) ([]float64, error) {
+		return room.Transmit(utt.Samples, vibguard.PathConfig{
+			SourceSPL: spl, DistanceM: dist, ThroughBarrier: thru,
+			SampleRate: vibguard.SampleRate,
+		}, rng)
+	}
+	legitVA, err := transmit(72, 1.5, false)
+	if err != nil {
+		return nil, err
+	}
+	legitNear, err := transmit(72, 0.3, false)
+	if err != nil {
+		return nil, err
+	}
+	attackVA, err := transmit(attackSPL, 2.1, true)
+	if err != nil {
+		return nil, err
+	}
+	attackNear, err := transmit(attackSPL, 2.4, true)
+	if err != nil {
+		return nil, err
+	}
+
+	var agents []*syncnet.WearableAgent
+	closeAll := func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}
+	newWearable := func(near []float64) (*syncnet.WearableAgent, error) {
+		rec := vibguard.SimulateNetworkDelay(near, 0.05+rng.Float64()*0.1, rng)
+		a, err := syncnet.NewWearableAgent("127.0.0.1:0", func(uint64) ([]float64, error) {
+			return rec, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		agents = append(agents, a)
+		return a, nil
+	}
+
+	fleet := make([]*profileUser, 0, users)
+	for i := 0; i < users; i++ {
+		watch, err := newWearable(legitNear)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		earbud, err := newWearable(legitNear)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		fleet = append(fleet, &profileUser{
+			id: fmt.Sprintf("user-%d", i), watch: watch, earbud: earbud,
+		})
+	}
+	attackWatch, err := newWearable(attackNear)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	attackEarbud, err := newWearable(attackNear)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &profileFleet{
+		users:    fleet,
+		attacker: &profileUser{id: "attacker", watch: attackWatch, earbud: attackEarbud},
+		legitVA:  legitVA,
+		attackVA: attackVA,
+		close:    closeAll,
+	}, nil
+}
+
+// runProfiles boots the session server with the per-user profile store
+// enabled and drives two calibration passes of fused two-wearable
+// sessions over a simulated user fleet through the TCP front-end: the
+// first pass populates the worker's threshold cache and each user's
+// profile, the second pass must hit the cache and reproduce every fused
+// score bit-for-bit (same pinned per-session seed). A final fused attack
+// session per user shows calibrated thresholds still reject thru-barrier
+// replays, and the store round-trips through its snapshot file.
+func runProfiles(logger *slog.Logger, opts profileOptions, debugAddr string, seed int64) error {
+	if opts.users < 1 {
+		return fmt.Errorf("-users must be >= 1")
+	}
+	if opts.workers <= 0 {
+		// One worker by default: every session consults the same LRU, so
+		// the second pass deterministically hits the cache.
+		opts.workers = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	if debugAddr != "" {
+		if _, err := serveDebug(logger, debugAddr); err != nil {
+			return err
+		}
+	}
+
+	logger.Info("training phoneme detector")
+	det, err := vibguard.TrainPhonemeDetector(vibguard.DetectorTraining{Seed: rng.Int63()})
+	if err != nil {
+		return err
+	}
+	coal := segment.NewCoalescer(det, 0)
+	defer coal.Close()
+
+	fleet, err := buildProfileFleet(logger, rng, opts.users, opts.attackSPL)
+	if err != nil {
+		return err
+	}
+	defer fleet.close()
+
+	store := profile.NewStore(profile.Config{})
+	srv, err := serve.NewServer(serve.Config{
+		NewDefense: func() (*core.Defense, error) {
+			return core.NewDefense(core.DefaultConfig(device.NewFossilGen5(), coal))
+		},
+		Workers:        opts.workers,
+		QueueDepth:     2 * opts.users,
+		SessionTimeout: 2 * time.Minute,
+		Seed:           seed,
+		Profiles:       store,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen(opts.addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("session server serving",
+		"addr", addr, "workers", srv.Workers(), "profiles", true)
+
+	client, err := serve.DialServer(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	hits := obs.Default().Counter("profile.cache.hits")
+	misses := obs.Default().Counter("profile.cache.misses")
+	h0, m0 := hits.Value(), misses.Value()
+
+	// Two identical calibration passes of fused legitimate sessions. The
+	// per-session seed is pinned per user, so the fused score of pass 2
+	// must reproduce pass 1 bit-for-bit — any divergence is a fusion
+	// determinism bug, not acoustics.
+	var failed, verdictMismatches, fusionMismatches int
+	scoreBits := make(map[string]uint64, opts.users)
+	for pass := 1; pass <= 2; pass++ {
+		for i, u := range fleet.users {
+			v, err := client.Inspect(serve.Request{
+				UserID:        u.id,
+				WearableAddr:  u.watch.Addr(),
+				WearableAddrs: []string{u.earbud.Addr()},
+				VARecording:   fleet.legitVA,
+				RNGSeed:       serve.SessionSeed(seed, uint64(i)),
+			})
+			if err != nil {
+				failed++
+				logger.Error("fused session failed", "pass", pass, "user", u.id, "err", err)
+				continue
+			}
+			if v.Attack {
+				verdictMismatches++
+				logger.Error("legitimate fused session flagged",
+					"pass", pass, "user", u.id, "score", v.Score)
+			}
+			bits := math.Float64bits(v.Score)
+			if pass == 1 {
+				scoreBits[u.id] = bits
+			} else if bits != scoreBits[u.id] {
+				fusionMismatches++
+				logger.Error("fused score not reproducible",
+					"user", u.id, "pass1_bits", fmt.Sprintf("%x", scoreBits[u.id]),
+					"pass2_bits", fmt.Sprintf("%x", bits))
+			}
+		}
+		logger.Info("calibration pass done", "pass", pass,
+			"cache_hits", hits.Value()-h0, "cache_misses", misses.Value()-m0)
+	}
+
+	// Calibrated users must still reject a fused thru-barrier replay.
+	attacksFlagged := 0
+	for i, u := range fleet.users {
+		v, err := client.Inspect(serve.Request{
+			UserID:        u.id,
+			WearableAddr:  fleet.attacker.watch.Addr(),
+			WearableAddrs: []string{fleet.attacker.earbud.Addr()},
+			VARecording:   fleet.attackVA,
+			RNGSeed:       serve.SessionSeed(seed, uint64(1000+i)),
+		})
+		if err != nil {
+			failed++
+			logger.Error("attack session failed", "user", u.id, "err", err)
+			continue
+		}
+		if v.Attack {
+			attacksFlagged++
+		} else {
+			verdictMismatches++
+			logger.Error("fused thru-barrier attack missed", "user", u.id, "score", v.Score)
+		}
+	}
+
+	// The store snapshot round-trips: save atomically, load into a fresh
+	// store, same user population.
+	snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("vibguard-profiles-%d.snap", os.Getpid()))
+	defer func() { _ = os.Remove(snapPath) }()
+	if err := store.Save(snapPath); err != nil {
+		return fmt.Errorf("profile snapshot save: %w", err)
+	}
+	restored := profile.NewStore(profile.Config{})
+	if err := restored.Load(snapPath); err != nil {
+		return fmt.Errorf("profile snapshot load: %w", err)
+	}
+
+	logger.Info("profile pass complete",
+		"users", opts.users,
+		"sessions", 3*opts.users,
+		"failed", failed,
+		"cache_hits", hits.Value()-h0,
+		"cache_misses", misses.Value()-m0,
+		"fusion_mismatches", fusionMismatches,
+		"verdict_mismatches", verdictMismatches,
+		"attacks_flagged", attacksFlagged,
+		"snapshot_users", restored.Len())
+
+	logger.Info("draining session server")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Info("session server drained")
+
+	if failed > 0 || verdictMismatches > 0 || fusionMismatches > 0 {
+		return fmt.Errorf("profile pass: %d failed, %d verdict mismatches, %d fusion mismatches",
+			failed, verdictMismatches, fusionMismatches)
+	}
+	if restored.Len() != store.Len() {
+		return fmt.Errorf("profile snapshot round-trip: %d users restored, want %d",
+			restored.Len(), store.Len())
+	}
+	return nil
+}

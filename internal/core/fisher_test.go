@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFisherIntervalNonFinite is the constant-cell regression: a window of
+// constant cells has zero variance, so the Pearson r upstream is NaN —
+// and NaN passes a plain min/max clamp untouched, because both NaN
+// comparisons are false. The interval must be the maximal (-1, 1), which
+// straddles every threshold in [-1, 1] and lands the evaluate() switch in
+// its default no-exit branch, instead of NaN endpoints that would make
+// both straddle comparisons false too and could misorder a later refactor
+// of the branch logic.
+func TestFisherIntervalNonFinite(t *testing.T) {
+	for _, r := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		lo, hi := fisherInterval(r, 200, 1.96)
+		if lo != -1 || hi != 1 {
+			t.Errorf("fisherInterval(%v) = (%v, %v), want maximal (-1, 1)", r, lo, hi)
+		}
+		// The no-exit contract: neither switch arm may fire for any
+		// threshold the detector can hold.
+		for _, thr := range []float64{-1, -0.5, 0, 0.45, 1} {
+			if lo > thr || hi < thr {
+				t.Errorf("fisherInterval(%v) interval clears threshold %v — spurious early exit", r, thr)
+			}
+		}
+	}
+}
+
+// TestFisherIntervalFinite pins the ordinary path around the fix: finite r
+// still produces a proper interval containing tanh(atanh(r)) ≈ r, and the
+// ±1 clamp keeps atanh finite at the extremes.
+func TestFisherIntervalFinite(t *testing.T) {
+	for _, r := range []float64{-0.9, 0, 0.45, 0.9} {
+		lo, hi := fisherInterval(r, 100, 1.96)
+		if !(lo < r && r < hi) {
+			t.Errorf("fisherInterval(%v) = (%v, %v) does not contain r", r, lo, hi)
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Errorf("fisherInterval(%v) produced NaN endpoints", r)
+		}
+	}
+	for _, r := range []float64{1, -1, 1.5, -1.5} {
+		lo, hi := fisherInterval(r, 100, 1.96)
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			t.Errorf("fisherInterval(%v) = (%v, %v), want finite clamped interval", r, lo, hi)
+		}
+	}
+	// Wider windows tighten the interval.
+	lo1, hi1 := fisherInterval(0.5, 20, 1.96)
+	lo2, hi2 := fisherInterval(0.5, 2000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not tighten with n: n=20 width %v, n=2000 width %v", hi1-lo1, hi2-lo2)
+	}
+}

@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/core"
+	"vibguard/internal/detector"
+	"vibguard/internal/segment"
+)
+
+// fv builds a finite device verdict with the given score and span count.
+func fv(addr string, score float64, spans int) core.DeviceVerdict {
+	v := &core.Verdict{Score: score, SyncOffset: 7}
+	for i := 0; i < spans; i++ {
+		v.Spans = append(v.Spans, segment.Span{Start: i * 10, End: i*10 + 5})
+	}
+	return core.DeviceVerdict{Addr: addr, Verdict: v}
+}
+
+// TestFuseSingleDeviceBitIdentical pins that fusion is a strict
+// generalization of the single-wearable path: one device fuses to that
+// device's own verdict, score bits untouched.
+func TestFuseSingleDeviceBitIdentical(t *testing.T) {
+	score := 0.6123456789012345
+	dv := fv("watch:1", score, 3)
+	fused, n, e := core.FuseVerdicts([]core.DeviceVerdict{dv}, core.DefaultThreshold)
+	if e != nil || n != 1 {
+		t.Fatalf("fuse: n=%d err=%v", n, e)
+	}
+	if math.Float64bits(fused.Score) != math.Float64bits(score) {
+		t.Fatalf("single-device fused score %v not bit-identical to %v", fused.Score, score)
+	}
+	if fused.SyncOffset != dv.Verdict.SyncOffset || len(fused.Spans) != len(dv.Verdict.Spans) {
+		t.Fatal("single-device fusion did not carry the primary verdict through")
+	}
+	if fused.Attack != detector.DetectAt(score, core.DefaultThreshold) {
+		t.Fatal("fused attack bit disagrees with DetectAt")
+	}
+}
+
+// TestFuseWeightedMean pins the weighting rule: spans are the weights,
+// equal spans degenerate to the plain mean, and the primary (first
+// contributing) device supplies the non-score fields.
+func TestFuseWeightedMean(t *testing.T) {
+	a, b := fv("watch:1", 0.60, 4), fv("earbud:2", 0.40, 4)
+	fused, n, e := core.FuseVerdicts([]core.DeviceVerdict{a, b}, core.DefaultThreshold)
+	if e != nil || n != 2 {
+		t.Fatalf("fuse: n=%d err=%v", n, e)
+	}
+	if math.Abs(fused.Score-0.50) > 1e-15 {
+		t.Fatalf("equal-weight fused score %v, want plain mean 0.50", fused.Score)
+	}
+	if fused.SyncOffset != a.Verdict.SyncOffset {
+		t.Fatal("fused verdict did not take the primary device's sync offset")
+	}
+
+	// Unequal spans: 3:1 weighting.
+	c, d := fv("watch:1", 0.60, 3), fv("earbud:2", 0.40, 1)
+	fused, _, e = core.FuseVerdicts([]core.DeviceVerdict{c, d}, core.DefaultThreshold)
+	if e != nil {
+		t.Fatal(e)
+	}
+	want := (3*0.60 + 1*0.40) / 4
+	if math.Abs(fused.Score-want) > 1e-15 {
+		t.Fatalf("3:1 fused score %v, want %v", fused.Score, want)
+	}
+
+	// Span-less verdicts (baseline methods) weigh 1, not 0.
+	e1, e2 := fv("a", 0.2, 0), fv("b", 0.8, 0)
+	fused, _, fe := core.FuseVerdicts([]core.DeviceVerdict{e1, e2}, core.DefaultThreshold)
+	if fe != nil || math.Abs(fused.Score-0.5) > 1e-15 {
+		t.Fatalf("span-less fusion score %v err %v, want 0.5/nil", fused.Score, fe)
+	}
+}
+
+// TestFuseQuorum pins the quorum rule: any single finite score yields a
+// verdict; failed or non-finite devices contribute nothing; zero
+// contributors is ErrNoQuorum wrapping the first device error.
+func TestFuseQuorum(t *testing.T) {
+	good := fv("watch:1", 0.30, 2)
+	dead := core.DeviceVerdict{Addr: "earbud:2", Err: errors.New("link lost")}
+	nan := fv("anklet:3", math.NaN(), 2)
+
+	fused, n, e := core.FuseVerdicts([]core.DeviceVerdict{dead, good, nan}, core.DefaultThreshold)
+	if e != nil || n != 1 {
+		t.Fatalf("quorum-of-one: n=%d err=%v", n, e)
+	}
+	if math.Float64bits(fused.Score) != math.Float64bits(0.30) || !fused.Attack {
+		t.Fatalf("quorum-of-one verdict %+v, want the surviving device's attack verdict", fused)
+	}
+
+	_, n, e = core.FuseVerdicts([]core.DeviceVerdict{dead, nan}, core.DefaultThreshold)
+	if !errors.Is(e, core.ErrNoQuorum) || n != 0 {
+		t.Fatalf("no-quorum: n=%d err=%v, want ErrNoQuorum", n, e)
+	}
+
+	_, _, e = core.FuseVerdicts(nil, core.DefaultThreshold)
+	if !errors.Is(e, core.ErrNoQuorum) {
+		t.Fatalf("empty fuse err %v, want ErrNoQuorum", e)
+	}
+}
+
+// TestFuseThreshold pins that the fused attack bit respects the supplied
+// (possibly per-user calibrated) threshold, not a baked-in constant.
+func TestFuseThreshold(t *testing.T) {
+	dv := fv("watch:1", 0.47, 2)
+	if fused, _, _ := core.FuseVerdicts([]core.DeviceVerdict{dv}, core.DefaultThreshold); fused.Attack {
+		t.Fatal("0.47 flagged as attack at the default threshold 0.45")
+	}
+	if fused, _, _ := core.FuseVerdicts([]core.DeviceVerdict{dv}, 0.50); !fused.Attack {
+		t.Fatal("0.47 not flagged at calibrated threshold 0.50")
+	}
+}
+
+// TestFuseGoldenTwoWearables is the fusion golden: two wearables scoring
+// the same golden-generator session through real pipelines, fused — the
+// fused score must be bit-identical across runs for a fixed seed, and
+// agree with the plain mean of the two per-device scores to within one
+// ULP (same VA audio → same spans → equal weights; the weighted form
+// (w·a + w·b)/2w rounds once more than (a+b)/2 when w is not a power of
+// two, so bit-equality is asserted against runs, not against the
+// re-derived mean).
+func TestFuseGoldenTwoWearables(t *testing.T) {
+	samples := streamSamples(t, 424242)
+	s := samples[0] // legitimate session
+	run := func() (uint64, [2]float64) {
+		var dvs []core.DeviceVerdict
+		var scores [2]float64
+		for i := 0; i < 2; i++ {
+			d := sampleDefense(t, s)
+			rng := rand.New(rand.NewSource(9000 + int64(i)))
+			v, err := d.Inspect(s.VARec, s.WearRec, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores[i] = v.Score
+			dvs = append(dvs, core.DeviceVerdict{Addr: "wear", Verdict: v})
+		}
+		fused, n, err := core.FuseVerdicts(dvs, core.DefaultThreshold)
+		if err != nil || n != 2 {
+			t.Fatalf("fuse: n=%d err=%v", n, err)
+		}
+		if fused.Attack {
+			t.Fatal("legitimate two-wearable session fused to an attack verdict")
+		}
+		return math.Float64bits(fused.Score), scores
+	}
+	bits1, scores := run()
+	bits2, _ := run()
+	if bits1 != bits2 {
+		t.Fatalf("fused score not bit-identical across runs: %x vs %x", bits1, bits2)
+	}
+	mean := (scores[0] + scores[1]) / 2
+	fusedScore := math.Float64frombits(bits1)
+	if diff := math.Abs(fusedScore - mean); diff > math.Abs(mean)*1e-15 {
+		t.Fatalf("equal-weight fused score %v strays from mean %v by %v", fusedScore, mean, diff)
+	}
+}

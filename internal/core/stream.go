@@ -325,8 +325,17 @@ func (si *StreamInspector) Finish() (*Verdict, error) {
 // fisherInterval returns the Fisher z-transform confidence interval of a
 // Pearson correlation r observed over n cells: z = atanh(r) is treated as
 // normal with standard error 1/sqrt(n-3), and the interval is mapped back
-// through tanh. r is clamped just inside (-1, 1) so atanh stays finite.
+// through tanh. r is clamped just inside (-1, 1) so atanh stays finite. A
+// non-finite r (NaN from a constant cell window, ±Inf from an upstream
+// overflow) carries no information, so it yields the maximal interval
+// (-1, 1): the interval straddles any threshold, which the early-exit
+// switch reads as "no exit this evaluation" rather than a spurious
+// verdict — NaN would otherwise sail through the clamp below, because
+// both comparisons are false for NaN.
 func fisherInterval(r float64, n int, zMult float64) (lo, hi float64) {
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return -1, 1
+	}
 	const rCap = 1 - 1e-12
 	if r > rCap {
 		r = rCap

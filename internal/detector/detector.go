@@ -256,6 +256,13 @@ func (d *Detector) ScoreWithSpans(vaRec, wearRec []float64, spans []segment.Span
 // Detect reports whether a score indicates a thru-barrier attack.
 func (d *Detector) Detect(score float64) bool { return score < d.cfg.Threshold }
 
+// DetectAt is Detect against an explicit threshold — the per-user
+// calibrated path: the profile layer supplies an effective threshold
+// (DefaultThreshold plus a clamped personal offset) without rebuilding
+// the detector. The comparison is identical to Detect's strict <, so
+// DetectAt(score, d.Threshold()) ≡ d.Detect(score) bit for bit.
+func DetectAt(score, threshold float64) bool { return score < threshold }
+
 // CorrelateSegments senses two already-extracted effective-phoneme segment
 // signals in the vibration domain and returns the Eq. (6) correlation
 // score together with the number of overlapping (frame, bin) cells that

@@ -1,0 +1,184 @@
+package profile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seededStore builds a store with a few calibrated multi-device users.
+func seededStore() *Store {
+	s := NewStore(Config{Shards: 8})
+	s.Observe("alice", 0.61)
+	s.Observe("alice", 0.64)
+	s.AddDevices("alice", "watch:a1", "earbud:a2")
+	s.Observe("bob", 0.38)
+	s.AddDevices("bob", "watch:b1")
+	s.Observe("carol", 0.55)
+	return s
+}
+
+// sameContents compares two stores profile by profile.
+func sameContents(t *testing.T, a, b *Store) {
+	t.Helper()
+	var got []Profile
+	b.Range(func(p Profile) bool { got = append(got, p); return true })
+	i := 0
+	a.Range(func(p Profile) bool {
+		if i >= len(got) {
+			t.Fatalf("decoded store short: %d profiles", len(got))
+		}
+		q := got[i]
+		i++
+		if p.UserID != q.UserID || p.Mean != q.Mean || p.Offset != q.Offset || p.Samples != q.Samples {
+			t.Fatalf("profile mismatch: %+v vs %+v", p, q)
+		}
+		if len(p.Devices) != len(q.Devices) {
+			t.Fatalf("device mismatch for %q: %v vs %v", p.UserID, p.Devices, q.Devices)
+		}
+		for j := range p.Devices {
+			if p.Devices[j] != q.Devices[j] {
+				t.Fatalf("device mismatch for %q: %v vs %v", p.UserID, p.Devices, q.Devices)
+			}
+		}
+		return true
+	})
+	if i != len(got) {
+		t.Fatalf("decoded store long: %d vs %d profiles", len(got), i)
+	}
+}
+
+// TestSnapshotRoundTrip pins encode→decode identity and deterministic
+// encoding (identical contents → identical bytes).
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := seededStore()
+	blob := s.EncodeSnapshot()
+	if string(blob[:4]) != snapshotMagic || blob[4] != SnapshotVersion {
+		t.Fatalf("header % x, want magic %q version %d", blob[:5], snapshotMagic, SnapshotVersion)
+	}
+	again := s.EncodeSnapshot()
+	if string(blob) != string(again) {
+		t.Fatal("encoding is not deterministic")
+	}
+
+	dst := NewStore(Config{Shards: 8})
+	dst.Observe("stale-user", 0.5) // must be dropped by the swap
+	if err := dst.DecodeSnapshot(blob); err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if _, ok := dst.Lookup("stale-user"); ok {
+		t.Fatal("decode did not replace prior contents")
+	}
+	sameContents(t, s, dst)
+
+	// A store with a different shard count decodes the same contents.
+	wide := NewStore(Config{Shards: 64})
+	if err := wide.DecodeSnapshot(blob); err != nil {
+		t.Fatalf("DecodeSnapshot into 64 shards: %v", err)
+	}
+	sameContents(t, s, wide)
+}
+
+// TestSnapshotEmpty round-trips an empty store.
+func TestSnapshotEmpty(t *testing.T) {
+	s := NewStore(Config{})
+	blob := s.EncodeSnapshot()
+	dst := seededStore()
+	if err := dst.DecodeSnapshot(blob); err != nil {
+		t.Fatalf("DecodeSnapshot(empty): %v", err)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("decoded empty snapshot left %d profiles", dst.Len())
+	}
+}
+
+// TestSnapshotDecodeErrors is the corrupt/truncated-blob table: every
+// mangled blob fails with the right typed error and leaves the receiving
+// store unchanged (the brnn.UnmarshalBinary contract).
+func TestSnapshotDecodeErrors(t *testing.T) {
+	valid := seededStore().EncodeSnapshot()
+	cases := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"empty", nil, ErrBadMagic},
+		{"short magic", []byte("VG"), ErrBadMagic},
+		{"wrong magic", append([]byte("XXXX"), valid[4:]...), ErrBadMagic},
+		{"missing version", []byte(snapshotMagic), ErrCorruptSnapshot},
+		{"unknown version", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[4] = 99
+			return b
+		}(), ErrUnknownSnapshotVersion},
+		{"truncated count", valid[:5], ErrCorruptSnapshot},
+		{"count exceeds bytes", func() []byte {
+			b := append([]byte(nil), valid[:5]...)
+			return append(b, 0xff, 0xff, 0xff, 0x7f) // huge profile count, no payload
+		}(), ErrCorruptSnapshot},
+		{"truncated mid-profile", valid[:len(valid)/2], ErrCorruptSnapshot},
+		{"truncated last byte", valid[:len(valid)-1], ErrCorruptSnapshot},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0x00), ErrCorruptSnapshot},
+		{"string length past end", func() []byte {
+			// Header + count=1, then a user id claiming 200 bytes with none present.
+			b := append([]byte(nil), valid[:5]...)
+			return append(b, 0x01, 0xc8, 0x01)
+		}(), ErrCorruptSnapshot},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := seededStore()
+			before := dst.EncodeSnapshot()
+			err := dst.DecodeSnapshot(tc.blob)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeSnapshot error %v, want %v", err, tc.want)
+			}
+			if after := dst.EncodeSnapshot(); string(after) != string(before) {
+				t.Fatal("failed decode mutated the store")
+			}
+		})
+	}
+}
+
+// TestSnapshotSaveLoad pins the atomic on-disk round trip and that a
+// failed Load leaves the store unchanged.
+func TestSnapshotSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.snap")
+	s := seededStore()
+	if err := s.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// No temp litter after a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "profiles.snap" {
+		t.Fatalf("directory holds %v, want only profiles.snap", entries)
+	}
+
+	dst := NewStore(Config{})
+	if err := dst.Load(path); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	sameContents(t, s, dst)
+
+	// Corrupt file on disk: typed error, store untouched.
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := dst.EncodeSnapshot()
+	if err := dst.Load(path); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Load(corrupt) error %v, want ErrBadMagic", err)
+	}
+	if string(dst.EncodeSnapshot()) != string(before) {
+		t.Fatal("failed Load mutated the store")
+	}
+
+	// Missing file: error, store untouched.
+	if err := dst.Load(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Fatal("Load(missing) succeeded")
+	}
+}

@@ -1,0 +1,145 @@
+package router_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vibguard/internal/router"
+	"vibguard/internal/serve"
+)
+
+// TestRouteKeyLegacyFallback pins the routing-key contract: UserID when
+// present, the wearable address for legacy anonymous single-wearable
+// sessions — and the fallback never consults the multi-wearable extras,
+// because sessions carrying extras are rejected before routing.
+func TestRouteKeyLegacyFallback(t *testing.T) {
+	cases := []struct {
+		name string
+		req  serve.Request
+		want string
+	}{
+		{"user id wins", serve.Request{UserID: "alice", WearableAddr: "watch:1"}, "alice"},
+		{"legacy fallback", serve.Request{WearableAddr: "watch:1"}, "watch:1"},
+		{"user id wins over extras",
+			serve.Request{UserID: "alice", WearableAddr: "watch:1",
+				WearableAddrs: []string{"earbud:2"}}, "alice"},
+		{"empty session", serve.Request{}, ""},
+	}
+	for _, tc := range cases {
+		if got := router.RouteKey(tc.req); got != tc.want {
+			t.Errorf("%s: RouteKey = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+
+	// End to end: a legacy anonymous session still routes — by wearable
+	// address — and produces a verdict.
+	sc := scenarioFor(t)
+	watch := newAgent(t, sc.legitWear)
+	cl := newCluster(t, 3, nodeConfig{}, router.Config{})
+	req := request("", watch.Addr(), sc.legitVA, 1)
+	wantNode, err := cl.r.NodeFor(watch.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNode, _ := cl.r.NodeFor(router.RouteKey(req)); gotNode != wantNode {
+		t.Fatalf("anonymous session routes to %s, want the wearable-address owner %s",
+			gotNode, wantNode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	v, err := cl.r.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Attack {
+		t.Fatal("legitimate anonymous session flagged as attack")
+	}
+}
+
+// TestRouterUserIDRequired pins the other half of the contract: a
+// profile-backed session (extra wearable addresses) with no UserID is
+// rejected with the typed sentinel before any node is picked — batch and
+// streamed alike.
+func TestRouterUserIDRequired(t *testing.T) {
+	sc := scenarioFor(t)
+	watch := newAgent(t, sc.legitWear)
+	earbud := newAgent(t, sc.legitWear)
+	cl := newCluster(t, 1, nodeConfig{}, router.Config{})
+
+	req := request("", watch.Addr(), sc.legitVA, 2)
+	req.WearableAddrs = []string{earbud.Addr()}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := cl.r.Submit(ctx, req); !errors.Is(err, serve.ErrUserIDRequired) {
+		t.Fatalf("Submit err %v, want ErrUserIDRequired", err)
+	}
+
+	chunks := make(chan []float64)
+	close(chunks)
+	if _, err := cl.r.SubmitStream(ctx, req, chunks); !errors.Is(err, serve.ErrUserIDRequired) {
+		t.Fatalf("SubmitStream err %v, want ErrUserIDRequired", err)
+	}
+
+	// The same multi-wearable session with an identity goes through.
+	req.UserID = "alice"
+	v, err := cl.r.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Attack {
+		t.Fatal("legitimate fused session flagged as attack")
+	}
+}
+
+// TestRelayStreamAbortNoLeak pins the relay-leak fix: a streamed session
+// abandoned mid-flight for a reason other than the connection dying (a
+// canceled caller context) must deregister its stream id from the node
+// client's mux table, and the shared node connection must keep serving.
+func TestRelayStreamAbortNoLeak(t *testing.T) {
+	sc := scenarioFor(t)
+	watch := newAgent(t, sc.legitWear)
+	cl := newCluster(t, 1, nodeConfig{}, router.Config{})
+	id := cl.ids[0]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chunks := make(chan []float64, 1)
+	chunks <- sc.legitVA[:4096] // a chunk in flight, stream held open
+
+	errCh := make(chan error, 1)
+	go func() {
+		req := request("alice", watch.Addr(), nil, 3)
+		_, err := cl.r.SubmitStream(ctx, req, chunks)
+		errCh <- err
+	}()
+
+	// The relay is parked in its select with the stream registered.
+	waitFor(t, 5*time.Second, func() bool { return cl.r.NodeStreams(id) == 1 })
+
+	cancel()
+	err := <-errCh
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitStream err %v, want context.Canceled", err)
+	}
+	if got := cl.r.NodeStreams(id); got != 0 {
+		t.Fatalf("node has %d pending streams after abort, want 0 — stream id leaked", got)
+	}
+
+	// The node connection survived the server's late terminal frame for
+	// the aborted stream: a full session over the same client still works.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	v, err := cl.r.Submit(ctx2, request("alice", watch.Addr(), sc.legitVA, 4))
+	if err != nil {
+		t.Fatalf("node connection unusable after abort: %v", err)
+	}
+	if v.Attack {
+		t.Fatal("legitimate session flagged after abort")
+	}
+	if got := cl.r.NodeStreams(id); got != 0 {
+		t.Fatalf("node has %d pending streams after follow-up, want 0", got)
+	}
+}

@@ -293,6 +293,25 @@ func (r *Router) NodeFor(key string) (string, error) {
 	return "", serve.ErrNoNodes
 }
 
+// NodeStreams returns the number of sessions pending on a node's
+// multiplexed connection (0 for unknown ids or before the first dial).
+// It is the relay-leak observability hook: a router at rest must report
+// 0 for every node — a stable nonzero count is a leaked stream id.
+func (r *Router) NodeStreams(id string) int {
+	r.mu.RLock()
+	n := r.nodes[id]
+	r.mu.RUnlock()
+	if n == nil {
+		return 0
+	}
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	if n.client == nil {
+		return 0
+	}
+	return n.client.InFlight()
+}
+
 // InFlight returns a node's in-flight session count (0 for unknown ids).
 func (r *Router) InFlight(id string) int64 {
 	r.mu.RLock()
@@ -323,14 +342,30 @@ func (r *Router) transitionLocked(n *node, to NodeState) {
 	}
 }
 
-// routeKey picks the consistent-hash key of a session: the wearable-
-// paired user id, falling back to the wearable address — either way, one
-// user's sessions land on one node.
-func routeKey(req serve.Request) string {
+// RouteKey is the consistent-hash key contract of a session: the
+// wearable-paired user id, falling back to the wearable address for
+// legacy single-wearable sessions that carry no identity. The fallback
+// is only sound when the session names exactly one wearable — with a
+// multi-wearable fleet, hashing whichever address came first would
+// scatter one user's sessions (and the per-user profile state the nodes
+// cache) across the ring. Submit and SubmitStream therefore reject
+// profile-backed sessions (non-empty WearableAddrs) whose UserID is
+// empty with serve.ErrUserIDRequired instead of routing them.
+func RouteKey(req serve.Request) string {
 	if req.UserID != "" {
 		return req.UserID
 	}
 	return req.WearableAddr
+}
+
+// checkRoutable rejects sessions whose routing key would be ambiguous:
+// a profile-backed session (one carrying extra wearable addresses) must
+// name the user it belongs to.
+func checkRoutable(req serve.Request) error {
+	if len(req.WearableAddrs) > 0 && req.UserID == "" {
+		return serve.ErrUserIDRequired
+	}
+	return nil
 }
 
 // pick chooses the serving node for key: the ring owner if it is up,
@@ -370,6 +405,10 @@ var ErrResubmitsExhausted = errors.New("router: resubmits exhausted")
 // dead one as serve.ErrNodeLost. Routing failures (serve.ErrNoNodes, a
 // draining router) carry no node.
 func (r *Router) Submit(ctx context.Context, req serve.Request) (*core.Verdict, error) {
+	if err := checkRoutable(req); err != nil {
+		metSessionsRejected.Inc()
+		return nil, err
+	}
 	budget := r.cfg.resubmits()
 	var lastErr error
 	for try := 0; try <= budget; try++ {
@@ -393,7 +432,7 @@ func (r *Router) Submit(ctx context.Context, req serve.Request) (*core.Verdict, 
 
 // submitOnce runs one routing attempt of a session.
 func (r *Router) submitOnce(ctx context.Context, req serve.Request) (*core.Verdict, error) {
-	n, err := r.pick(routeKey(req))
+	n, err := r.pick(RouteKey(req))
 	if err != nil {
 		metSessionsRejected.Inc()
 		return nil, err
@@ -438,6 +477,10 @@ func (r *Router) submitOnce(ctx context.Context, req serve.Request) (*core.Verdi
 // the call and remaining inbound chunks are dropped. It satisfies
 // serve.StreamSessionHandler, so it is the front door's chunk handler.
 func (r *Router) SubmitStream(ctx context.Context, req serve.Request, chunks <-chan []float64) (*core.Verdict, error) {
+	if err := checkRoutable(req); err != nil {
+		metSessionsRejected.Inc()
+		return nil, err
+	}
 	budget := r.cfg.resubmits()
 	relay := &streamRelay{src: chunks}
 	var lastErr error
@@ -472,7 +515,7 @@ type streamRelay struct {
 // buffered prefix, then forward live chunks until the node answers early,
 // the stream closes, or the node dies.
 func (r *Router) streamOnce(ctx context.Context, req serve.Request, relay *streamRelay) (*core.Verdict, error) {
-	n, err := r.pick(routeKey(req))
+	n, err := r.pick(RouteKey(req))
 	if err != nil {
 		metSessionsRejected.Inc()
 		return nil, err
@@ -506,11 +549,26 @@ func (r *Router) streamOnce(ctx context.Context, req serve.Request, relay *strea
 
 // relayStream pushes the relay's prefix and live chunks through one node
 // stream and waits for the verdict.
-func (r *Router) relayStream(ctx context.Context, client *serve.Client, req serve.Request, relay *streamRelay) (*core.Verdict, error) {
+func (r *Router) relayStream(ctx context.Context, client *serve.Client, req serve.Request, relay *streamRelay) (v *core.Verdict, err error) {
 	s, err := client.OpenStream(req)
 	if err != nil {
 		return nil, err
 	}
+	// Any failure after the stream opened must abort it. Without the
+	// abort, an attempt that fails for a reason other than the connection
+	// dying — a canceled context above all — leaves the stream id
+	// registered in the client's pending mux table forever: the entry is
+	// only reaped by a verdict (which the abandoned stream will get, but
+	// nobody is waiting to consume) or by the connection dying. Abort
+	// deregisters the id and tombstones it so the node's eventual terminal
+	// frame is dropped instead of killing the shared connection. On a
+	// conn-lost failure the abort is a harmless no-op (the dead connection
+	// already failed every pending stream).
+	defer func() {
+		if err != nil {
+			s.Abort()
+		}
+	}()
 	feeding := true
 	for _, chunk := range relay.buf {
 		done, err := s.Send(chunk)

@@ -105,6 +105,10 @@ type Client struct {
 	mu      sync.Mutex
 	next    uint64
 	pending map[uint64]chan clientResult
+	// aborted tombstones streams abandoned by Abort: the peer will still
+	// send exactly one terminal frame for each, which must be dropped
+	// silently instead of tripping deliver's unknown-stream kill.
+	aborted map[uint64]bool
 	dead    error // set once the read loop exits; nil while healthy
 }
 
@@ -124,6 +128,7 @@ func NewClient(conn net.Conn) *Client {
 		conn:    conn,
 		w:       newFrameWriter(conn),
 		pending: make(map[uint64]chan clientResult),
+		aborted: make(map[uint64]bool),
 	}
 	go c.readLoop()
 	return c
@@ -180,15 +185,21 @@ func (c *Client) readLoop() {
 	}
 }
 
-// deliver resolves one stream. A response for a stream that is not
-// pending — double-assignment of a session, or a response invented by the
-// peer — is a protocol violation that kills the connection, which is how
-// the soak's "none double-assigned" contract is enforced at the wire.
+// deliver resolves one stream. A response for a stream that is neither
+// pending nor aborted — double-assignment of a session, or a response
+// invented by the peer — is a protocol violation that kills the
+// connection, which is how the soak's "none double-assigned" contract is
+// enforced at the wire. An aborted stream's single terminal frame
+// consumes its tombstone and is dropped silently.
 func (c *Client) deliver(stream uint64, res clientResult) {
 	c.mu.Lock()
 	ch, ok := c.pending[stream]
 	if ok {
 		delete(c.pending, stream)
+	} else if c.aborted[stream] {
+		delete(c.aborted, stream)
+		c.mu.Unlock()
+		return
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -206,6 +217,7 @@ func (c *Client) fail(err error) {
 	}
 	stale := c.pending
 	c.pending = make(map[uint64]chan clientResult)
+	c.aborted = make(map[uint64]bool)
 	c.mu.Unlock()
 	_ = c.conn.Close()
 	for _, ch := range stale {
@@ -226,11 +238,38 @@ func (c *Client) register() (uint64, chan clientResult, error) {
 	return c.next, ch, nil
 }
 
-// abandon removes a stream that failed to send.
+// abandon removes a stream that failed to send. No tombstone: the frame
+// never reached the peer, so no response will ever arrive for it.
 func (c *Client) abandon(stream uint64) {
 	c.mu.Lock()
 	delete(c.pending, stream)
 	c.mu.Unlock()
+}
+
+// abortPending abandons a pending stream whose request DID reach the peer
+// and tombstones it, so the peer's eventual terminal frame is swallowed.
+// It reports whether the stream was still pending; false means a result
+// (or connection failure) already resolved it and no tombstone is needed.
+func (c *Client) abortPending(stream uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pending[stream]; !ok {
+		return false
+	}
+	delete(c.pending, stream)
+	if c.dead == nil {
+		c.aborted[stream] = true
+	}
+	return true
+}
+
+// InFlight returns the number of pending streams — sessions submitted but
+// not yet resolved. A stream abandoned without Abort stays pending
+// forever; this is the counter the relay-leak regression tests watch.
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
 }
 
 // Inspect submits one session and blocks until the verdict arrives. The

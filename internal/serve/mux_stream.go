@@ -259,6 +259,40 @@ func (s *ClientStream) Wait() (*core.Verdict, error) {
 	return s.res.verdict, s.res.err
 }
 
+// Abort abandons the stream: the client stops waiting for its verdict and
+// tombstones the stream id, so the server's eventual terminal frame is
+// dropped silently instead of killing the shared connection as an
+// unknown-stream protocol violation — and the stream id does not leak in
+// the client's in-flight table. If the final chunk has not been sent yet,
+// a best-effort one goes out so the server-side handler winds down with
+// the batch fallback instead of waiting for audio that will never come
+// (if it has, the server owes exactly one terminal frame already, and a
+// second final chunk would draw a spurious error frame). A verdict that
+// raced the abort wins: the stream resolves normally and Wait returns it.
+// Idempotent; safe after CloseSend.
+func (s *ClientStream) Abort() {
+	if s.hasRes {
+		return
+	}
+	select {
+	case res := <-s.ch:
+		s.res, s.hasRes = res, true
+		return
+	default:
+	}
+	if !s.c.abortPending(s.stream) {
+		// Already resolved (result in flight to s.ch) or the connection
+		// died and failed the stream; either way nothing is leaked.
+		return
+	}
+	if !s.closed {
+		s.closed = true
+		_ = s.c.w.write(Frame{Type: FrameChunk, Stream: s.stream,
+			Payload: AppendChunkPayload(nil, wireChunk{Final: true})})
+	}
+	s.res, s.hasRes = clientResult{err: fmt.Errorf("serve: stream aborted")}, true
+}
+
 // InspectStream streams a whole recording in cfg-sized chunks and returns
 // the verdict — the convenience wrapper benchmarks and smoke tests use.
 // The chunk size must be positive.

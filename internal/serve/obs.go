@@ -24,4 +24,10 @@ var (
 	// Streamed-session split: how many streamed sessions ended on the
 	// early exit vs. ran the stream to completion plus batch fallback.
 	metStreamSessionsEarly = obs.Default().Counter("serve.sessions.stream_early")
+
+	// Multi-wearable fusion: how many devices actually contributed a
+	// finite score to each profile-backed session's fused verdict. A mode
+	// sliding below the fleet's configured device count means wearable
+	// links are dropping out of quorum.
+	histFusionDevices = obs.Default().Histogram("fusion.devices")
 )

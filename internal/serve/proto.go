@@ -31,6 +31,7 @@ const (
 	kindInternal     = "internal"
 	kindNodeLost     = "node_lost"
 	kindNoNodes      = "no_nodes"
+	kindUserRequired = "user_required"
 )
 
 // Routing-tier sentinels. They live here, next to the rest of the wire
@@ -73,6 +74,8 @@ func errKind(err error) string {
 		return kindNodeLost
 	case errors.Is(err, ErrNoNodes):
 		return kindNoNodes
+	case errors.Is(err, ErrUserIDRequired):
+		return kindUserRequired
 	case errors.Is(err, ErrOverloaded):
 		return kindOverloaded
 	case errors.Is(err, ErrDraining):
@@ -124,6 +127,8 @@ func remoteError(kind, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", ErrNodeLost, msg)
 	case kindNoNodes:
 		return fmt.Errorf("%w (remote: %s)", ErrNoNodes, msg)
+	case kindUserRequired:
+		return fmt.Errorf("%w (remote: %s)", ErrUserIDRequired, msg)
 	default:
 		return &RemoteError{Kind: kind, Msg: msg}
 	}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"vibguard/internal/core"
+	"vibguard/internal/profile"
 	"vibguard/internal/syncnet"
 )
 
@@ -57,6 +58,14 @@ var (
 	// ErrSessionTimeout is returned when a session's deadline expires
 	// before its verdict is ready (whether still queued or mid-fetch).
 	ErrSessionTimeout = errors.New("serve: session deadline exceeded")
+	// ErrUserIDRequired is returned for a profile-backed session (one that
+	// carries WearableAddrs) with an empty UserID. Multi-wearable fusion
+	// and per-user calibration are keyed by user identity, and the routing
+	// tier's legacy fallback — hashing WearableAddr when UserID is empty —
+	// would scatter a multi-wearable user's sessions across nodes by
+	// whichever address came first. The error crosses the wire typed
+	// (kind "user_required").
+	ErrUserIDRequired = errors.New("serve: profile-backed session needs a user id")
 )
 
 // Request is one detection session: a VA recording and the wearable that
@@ -68,8 +77,17 @@ type Request struct {
 	// one user's sessions — and any per-user state a node caches — stay
 	// on one node.
 	UserID string
-	// WearableAddr is the paired wearable agent's network address.
+	// WearableAddr is the paired wearable agent's network address (the
+	// user's primary wearable).
 	WearableAddr string
+	// WearableAddrs lists additional paired wearables (earbud, second
+	// watch, …) whose recordings are scored independently and fused at the
+	// score level (core.FuseVerdicts). A session carrying any is
+	// profile-backed and must set UserID (ErrUserIDRequired otherwise).
+	// On the wire the list travels in a backward-compatible trailing
+	// extension of the request payload: a request without extras encodes
+	// byte-identically to the pre-extension protocol.
+	WearableAddrs []string
 	// VARecording is the VA device's capture of the voice command.
 	VARecording []float64
 	// RNGSeed pins the session's stochastic cross-domain sensing; 0
@@ -107,6 +125,14 @@ type Config struct {
 	// value uses the core.StreamConfig defaults at the pipeline sample
 	// rate.
 	Stream core.StreamConfig
+	// Profiles is the per-user profile store. Nil disables the profile
+	// layer entirely: no calibrated thresholds, no device registration,
+	// and every session runs at the defense's configured threshold —
+	// existing deployments are bit-compatible.
+	Profiles *profile.Store
+	// ProfileCacheSize bounds each worker's private LRU of effective
+	// per-user thresholds (default 1024; used only when Profiles is set).
+	ProfileCacheSize int
 }
 
 // withDefaults fills in defaults and validates the configuration.
@@ -125,6 +151,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.RetryPolicy.MaxAttempts == 0 {
 		c.RetryPolicy = syncnet.DefaultRetryPolicy()
+	}
+	if c.ProfileCacheSize <= 0 {
+		c.ProfileCacheSize = 1024
 	}
 	if err := c.RetryPolicy.Validate(); err != nil {
 		return c, err
@@ -145,6 +174,25 @@ func (c Config) withDefaults() (Config, error) {
 // session or in what order.
 func SessionSeed(seed int64, sessionID uint64) int64 {
 	z := uint64(seed) + 0x9e3779b97f4a7c15*(sessionID+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// deviceSeed derives the RNG seed of device i in a fused multi-wearable
+// session from the session seed, with the same SplitMix64 finalizer but
+// an XOR pre-whitening distinct from core's provisional-evaluation
+// derivation. Device 0 keeps the session seed untouched, so a fused
+// session with a single contributing device scores bit-identically to
+// the single-wearable path.
+func deviceSeed(seed int64, device uint64) int64 {
+	if device == 0 {
+		return seed
+	}
+	z := uint64(seed) ^ 0x5a5a5a5aa5a5a5a5 + 0x9e3779b97f4a7c15*device
 	z ^= z >> 30
 	z *= 0xbf58476d1ce4e5b9
 	z ^= z >> 27

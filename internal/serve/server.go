@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"vibguard/internal/core"
+	"vibguard/internal/detector"
+	"vibguard/internal/profile"
 	"vibguard/internal/syncnet"
 )
 
@@ -126,6 +128,13 @@ func (s *Server) submitSession(ctx context.Context, req Request, chunks <-chan [
 	if req.WearableAddr == "" {
 		return nil, fmt.Errorf("serve: session needs a wearable address")
 	}
+	// Profile-backed sessions (any WearableAddrs) are keyed by user
+	// identity: fusion and calibration are per-user, and routing a
+	// multi-wearable session by its first address would scatter the user's
+	// state across nodes.
+	if len(req.WearableAddrs) > 0 && req.UserID == "" {
+		return nil, ErrUserIDRequired
+	}
 	sctx, cancel := context.WithTimeout(ctx, s.cfg.SessionTimeout)
 	defer cancel()
 	sess := &session{
@@ -177,12 +186,17 @@ func (s *Server) submitSession(ctx context.Context, req Request, chunks <-chan [
 	}
 }
 
-// worker owns one private Defense and a per-address client cache and
-// drains the admission queue until it closes.
+// worker owns one private Defense, a per-address client cache, and (when
+// the profile layer is on) a private LRU of effective per-user
+// thresholds, and drains the admission queue until it closes.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	defense, defErr := s.cfg.NewDefense()
 	clients := make(map[string]*syncnet.ReliableClient)
+	var cache *profile.LRU
+	if s.cfg.Profiles != nil {
+		cache = profile.NewLRU(s.cfg.ProfileCacheSize)
+	}
 	defer func() {
 		for _, c := range clients {
 			_ = c.Close()
@@ -197,48 +211,252 @@ func (s *Server) worker() {
 			s.finish(sess, nil, fmt.Errorf("serve: defense factory: %w", defErr))
 			continue
 		}
-		s.process(defense, clients, sess)
+		s.process(defense, clients, cache, sess)
 	}
 }
 
+// clientFor returns the worker's cached hardened client for addr,
+// dialing one on first use.
+func (s *Server) clientFor(clients map[string]*syncnet.ReliableClient, addr string) (*syncnet.ReliableClient, error) {
+	if client, ok := clients[addr]; ok {
+		return client, nil
+	}
+	client, err := syncnet.NewReliableClient(addr,
+		syncnet.WithDialFunc(s.cfg.Dial),
+		syncnet.WithRetryPolicy(s.cfg.RetryPolicy),
+		syncnet.WithTimeouts(s.cfg.DialTimeout, s.cfg.RequestTimeout))
+	if err != nil {
+		return nil, err
+	}
+	clients[addr] = client
+	return client, nil
+}
+
+// effectiveThreshold resolves the session's decision threshold: the
+// defense's configured threshold, shifted by the user's calibrated offset
+// when the profile layer is on and the session carries a user identity.
+// The worker's LRU answers known users without touching the shared store.
+func (s *Server) effectiveThreshold(defense *core.Defense, cache *profile.LRU, userID string) (float64, bool) {
+	if cache == nil || userID == "" {
+		return defense.Threshold(), false
+	}
+	if thr, ok := cache.Get(userID); ok {
+		return thr, true
+	}
+	off, _ := s.cfg.Profiles.Offset(userID)
+	thr := defense.Threshold() + off
+	cache.Put(userID, thr)
+	return thr, true
+}
+
 // process runs one session end to end: deadline check, wearable fetch
-// through the cached hardened client, then the full Inspect pipeline.
-func (s *Server) process(defense *core.Defense, clients map[string]*syncnet.ReliableClient, sess *session) {
+// through the cached hardened clients, then the full Inspect pipeline —
+// once per wearable for a profile-backed multi-wearable session, with the
+// per-device verdicts fused at the score level.
+func (s *Server) process(defense *core.Defense, clients map[string]*syncnet.ReliableClient, cache *profile.LRU, sess *session) {
 	if err := sess.ctx.Err(); err != nil {
 		s.finish(sess, nil, sessionCtxError(err))
-		return
-	}
-	client, ok := clients[sess.req.WearableAddr]
-	if !ok {
-		var err error
-		client, err = syncnet.NewReliableClient(sess.req.WearableAddr,
-			syncnet.WithDialFunc(s.cfg.Dial),
-			syncnet.WithRetryPolicy(s.cfg.RetryPolicy),
-			syncnet.WithTimeouts(s.cfg.DialTimeout, s.cfg.RequestTimeout))
-		if err != nil {
-			s.finish(sess, nil, err)
-			return
-		}
-		clients[sess.req.WearableAddr] = client
-	}
-	wear, err := client.RequestRecordingContext(sess.ctx)
-	if err != nil {
-		if ctxErr := sess.ctx.Err(); ctxErr != nil {
-			err = fmt.Errorf("%w (fetch: %v)", sessionCtxError(ctxErr), err)
-		}
-		s.finish(sess, nil, err)
 		return
 	}
 	seed := sess.req.RNGSeed
 	if seed == 0 {
 		seed = SessionSeed(s.cfg.Seed, sess.id)
 	}
-	if sess.chunks != nil {
-		s.processStream(defense, sess, wear, seed)
+	if len(sess.req.WearableAddrs) == 0 {
+		// Single-wearable path, unchanged from the pre-profile protocol:
+		// fetch and inspection errors surface directly, and with the
+		// profile layer off the verdict is bit-identical to the seed
+		// deployment.
+		client, err := s.clientFor(clients, sess.req.WearableAddr)
+		if err != nil {
+			s.finish(sess, nil, err)
+			return
+		}
+		wear, err := client.RequestRecordingContext(sess.ctx)
+		if err != nil {
+			if ctxErr := sess.ctx.Err(); ctxErr != nil {
+				err = fmt.Errorf("%w (fetch: %v)", sessionCtxError(ctxErr), err)
+			}
+			s.finish(sess, nil, err)
+			return
+		}
+		if sess.chunks != nil {
+			s.processStream(defense, sess, wear, seed)
+			return
+		}
+		verdict, err := defense.Inspect(sess.req.VARecording, wear, rand.New(rand.NewSource(seed)))
+		if err == nil {
+			thr, calibrated := s.effectiveThreshold(defense, cache, sess.req.UserID)
+			if calibrated {
+				verdict.Attack = detector.DetectAt(verdict.Score, thr)
+				s.observeSession(defense, cache, sess, verdict, thr)
+			}
+		}
+		s.finish(sess, verdict, err)
 		return
 	}
-	verdict, err := defense.Inspect(sess.req.VARecording, wear, rand.New(rand.NewSource(seed)))
-	s.finish(sess, verdict, err)
+	s.processFused(defense, clients, cache, sess, seed)
+}
+
+// processFused runs a profile-backed multi-wearable session: every
+// wearable's recording is fetched and scored independently (the extras
+// under SplitMix64-derived per-device seeds, so their sensing streams are
+// decorrelated from the primary's), and the per-device verdicts fuse by
+// weighted mean under the quorum rule — any single finite score still
+// decides the session. Streamed sessions are admitted but fuse only after
+// the stream: the chunked VA audio feeds the primary device's streaming
+// pipeline unchanged, and the extras are scored batch-style on the full
+// recording only if no early exit fired.
+func (s *Server) processFused(defense *core.Defense, clients map[string]*syncnet.ReliableClient, cache *profile.LRU, sess *session, seed int64) {
+	addrs := append([]string{sess.req.WearableAddr}, sess.req.WearableAddrs...)
+	seen := make(map[string]bool, len(addrs))
+	devices := make([]core.DeviceVerdict, 0, len(addrs))
+	recordings := make([][]float64, 0, len(addrs))
+	fetched := addrs[:0:0]
+	for _, addr := range addrs {
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		client, err := s.clientFor(clients, addr)
+		if err != nil {
+			devices = append(devices, core.DeviceVerdict{Addr: addr, Err: err})
+			continue
+		}
+		wear, err := client.RequestRecordingContext(sess.ctx)
+		if err != nil {
+			// A session-level deadline fails the whole session; a
+			// device-level fetch failure just costs that device its vote.
+			if ctxErr := sess.ctx.Err(); ctxErr != nil {
+				s.finish(sess, nil, fmt.Errorf("%w (fetch %s: %v)", sessionCtxError(ctxErr), addr, err))
+				return
+			}
+			devices = append(devices, core.DeviceVerdict{Addr: addr, Err: err})
+			continue
+		}
+		devices = append(devices, core.DeviceVerdict{Addr: addr})
+		recordings = append(recordings, wear)
+		fetched = append(fetched, addr)
+	}
+	thr, calibrated := s.effectiveThreshold(defense, cache, sess.req.UserID)
+	if sess.chunks != nil {
+		s.processFusedStream(defense, sess, devices, recordings, fetched, seed, thr, cache, calibrated)
+		return
+	}
+	va := sess.req.VARecording
+	di := 0
+	for i := range devices {
+		if devices[i].Err != nil {
+			continue
+		}
+		v, err := defense.Inspect(va, recordings[di], rand.New(rand.NewSource(deviceSeed(seed, uint64(di)))))
+		devices[i].Verdict, devices[i].Err = v, err
+		di++
+	}
+	s.finishFused(defense, cache, sess, devices, thr, calibrated)
+}
+
+// processFusedStream is the streamed shape of processFused: the primary
+// device (the first fetched) runs the streaming pipeline on the chunked
+// VA audio; an early exit decides the session on the primary alone (the
+// extras' full-recording scores could shift a verdict the early exit
+// already committed), while a stream that runs to completion scores the
+// extras batch-style on the buffered recording and fuses all devices.
+func (s *Server) processFusedStream(defense *core.Defense, sess *session, devices []core.DeviceVerdict, recordings [][]float64, fetched []string, seed int64, thr float64, cache *profile.LRU, calibrated bool) {
+	if len(recordings) == 0 {
+		// Every fetch failed; fuse immediately for the typed quorum error.
+		s.finishFused(defense, cache, sess, devices, thr, calibrated)
+		return
+	}
+	si, err := defense.NewStreamInspector(s.cfg.Stream, deviceSeed(seed, 0))
+	if err != nil {
+		s.finish(sess, nil, err)
+		return
+	}
+	if err := si.FeedWearable(recordings[0]); err != nil {
+		s.finish(sess, nil, err)
+		return
+	}
+	var va []float64
+	for {
+		select {
+		case <-sess.ctx.Done():
+			s.finish(sess, nil, sessionCtxError(sess.ctx.Err()))
+			return
+		case chunk, ok := <-sess.chunks:
+			if !ok {
+				v, err := si.Finish()
+				setDevice(devices, fetched[0], v, err)
+				di := 0
+				for i := range devices {
+					if devices[i].Err != nil || devices[i].Verdict != nil {
+						continue
+					}
+					di++
+					v, err := defense.Inspect(va, recordings[di], rand.New(rand.NewSource(deviceSeed(seed, uint64(di)))))
+					devices[i].Verdict, devices[i].Err = v, err
+				}
+				s.finishFused(defense, cache, sess, devices, thr, calibrated)
+				return
+			}
+			va = append(va, chunk...)
+			v, err := si.Feed(chunk)
+			if err != nil {
+				s.finish(sess, nil, err)
+				return
+			}
+			if v != nil {
+				metStreamSessionsEarly.Inc()
+				setDevice(devices, fetched[0], v, nil)
+				// The unscored extras carry neither verdict nor error, so
+				// the fusion sees exactly one contributing device.
+				s.finishFused(defense, cache, sess, devices, thr, calibrated)
+				return
+			}
+		}
+	}
+}
+
+// setDevice records the verdict of the named device.
+func setDevice(devices []core.DeviceVerdict, addr string, v *core.Verdict, err error) {
+	for i := range devices {
+		if devices[i].Addr == addr {
+			devices[i].Verdict, devices[i].Err = v, err
+			return
+		}
+	}
+}
+
+// finishFused fuses the per-device verdicts, feeds the profile layer, and
+// delivers the session result.
+func (s *Server) finishFused(defense *core.Defense, cache *profile.LRU, sess *session, devices []core.DeviceVerdict, thr float64, calibrated bool) {
+	fused, contributing, err := core.FuseVerdicts(devices, thr)
+	if err != nil {
+		s.finish(sess, nil, err)
+		return
+	}
+	histFusionDevices.Observe(float64(contributing))
+	if calibrated {
+		s.observeSession(defense, cache, sess, fused, thr)
+	}
+	s.finish(sess, fused, nil)
+}
+
+// observeSession feeds a completed session back into the profile layer:
+// a legitimate (non-attack) score moves the user's calibration EWMA, the
+// session's wearables register as known devices, and the worker's cached
+// effective threshold is refreshed so the next session sees the updated
+// calibration. Attack scores never touch the EWMA — calibration tracks
+// the user's legitimate voice, not the adversary's.
+func (s *Server) observeSession(defense *core.Defense, cache *profile.LRU, sess *session, v *core.Verdict, thr float64) {
+	if v.Attack {
+		return
+	}
+	p := s.cfg.Profiles.Observe(sess.req.UserID, v.Score)
+	profile.RecordOffset(p.Offset)
+	s.cfg.Profiles.AddDevices(sess.req.UserID, sess.req.WearableAddr)
+	s.cfg.Profiles.AddDevices(sess.req.UserID, sess.req.WearableAddrs...)
+	cache.Put(sess.req.UserID, defense.Threshold()+p.Offset)
 }
 
 // processStream runs one streamed session: the wearable recording seeds

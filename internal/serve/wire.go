@@ -243,9 +243,26 @@ func truncated(err error) error {
 //	8 bytes              RNGSeed (int64 bits, little-endian)
 //	uvarint count        VA sample count
 //	count × 8 bytes      samples (float64 bits, little-endian)
+//	extension            optional trailing block, see below
 //
 // The sample count is validated against the bytes actually present
 // before the sample slice is allocated.
+//
+// The extension block is how the request payload grows without a version
+// bump: it is appended only when a post-v1 field is actually present, so
+// a request without any encodes byte-identically to the original
+// protocol, and a v1 decoder reading a payload with one fails loudly
+// (trailing bytes) rather than silently dropping fields. Its layout:
+//
+//	byte                 extension flags (bit 0: extra wearable addrs)
+//	uvarint count        extra wearable addr count (bit 0 only)
+//	count × string       extra wearable addrs (uvarint len + bytes each)
+//
+// Unknown extension flag bits are malformed — a decoder must never
+// guess at bytes it cannot attribute.
+
+// extWearableAddrs flags the extra-wearable-addrs extension field.
+const extWearableAddrs = byte(1)
 
 // AppendRequestPayload appends the encoded request to dst.
 func AppendRequestPayload(dst []byte, req Request) []byte {
@@ -255,6 +272,13 @@ func AppendRequestPayload(dst []byte, req Request) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(req.VARecording)))
 	for _, s := range req.VARecording {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s))
+	}
+	if len(req.WearableAddrs) > 0 {
+		dst = append(dst, extWearableAddrs)
+		dst = binary.AppendUvarint(dst, uint64(len(req.WearableAddrs)))
+		for _, addr := range req.WearableAddrs {
+			dst = appendString(dst, addr)
+		}
 	}
 	return dst
 }
@@ -280,7 +304,7 @@ func DecodeRequestPayload(p []byte) (Request, error) {
 		return Request{}, fmt.Errorf("%w: sample count", ErrMalformedFrame)
 	}
 	p = p[n:]
-	if uint64(len(p)) != count*8 || count > MaxFramePayload/8 {
+	if uint64(len(p)) < count*8 || count > MaxFramePayload/8 {
 		return Request{}, fmt.Errorf("%w: %d samples in %d payload bytes", ErrMalformedFrame, count, len(p))
 	}
 	if count > 0 {
@@ -288,6 +312,38 @@ func DecodeRequestPayload(p []byte) (Request, error) {
 		for i := range req.VARecording {
 			req.VARecording[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
 		}
+		p = p[count*8:]
+	}
+	if len(p) == 0 {
+		return req, nil // pre-extension request
+	}
+	flags := p[0]
+	p = p[1:]
+	if flags&^extWearableAddrs != 0 {
+		return Request{}, fmt.Errorf("%w: extension flags %#x", ErrMalformedFrame, flags)
+	}
+	if flags&extWearableAddrs != 0 {
+		addrCount, n, err := uvarintAt(p, 0)
+		if err != nil {
+			return Request{}, fmt.Errorf("%w: wearable addr count", ErrMalformedFrame)
+		}
+		p = p[n:]
+		// Each addr needs at least its length byte, so the count bounds the
+		// allocation against the bytes actually present.
+		if addrCount == 0 || addrCount > uint64(len(p)) {
+			return Request{}, fmt.Errorf("%w: %d wearable addrs in %d bytes", ErrMalformedFrame, addrCount, len(p))
+		}
+		req.WearableAddrs = make([]string, 0, addrCount)
+		for i := uint64(0); i < addrCount; i++ {
+			var addr string
+			if addr, p, err = takeString(p); err != nil {
+				return Request{}, err
+			}
+			req.WearableAddrs = append(req.WearableAddrs, addr)
+		}
+	}
+	if len(p) != 0 {
+		return Request{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformedFrame, len(p))
 	}
 	return req, nil
 }
@@ -370,6 +426,7 @@ const (
 	codeInternal     = byte(8)
 	codeNodeLost     = byte(9)
 	codeNoNodes      = byte(10)
+	codeUserRequired = byte(11)
 )
 
 // codeToKind maps wire codes to the stable kind strings shared with the
@@ -385,6 +442,7 @@ var codeToKind = map[byte]string{
 	codeInternal:     kindInternal,
 	codeNodeLost:     kindNodeLost,
 	codeNoNodes:      kindNoNodes,
+	codeUserRequired: kindUserRequired,
 }
 
 // errCode classifies a session error for the wire, mirroring errKind.
@@ -408,6 +466,8 @@ func errCode(err error) byte {
 		return codeNodeLost
 	case kindNoNodes:
 		return codeNoNodes
+	case kindUserRequired:
+		return codeUserRequired
 	default:
 		return codeInternal
 	}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# profile_smoke.sh — per-user profile smoke test (make profile-smoke).
+#
+# Boots vibguardd in -profiles mode: the session server runs with the
+# per-user profile store enabled and drives two fused two-wearable
+# calibration passes per simulated user plus a fused attack session each.
+# Asserts the second pass hit the worker's threshold cache (cache hits
+# > 0), every fused score reproduced bit-for-bit (zero fusion
+# mismatches), no session failed or produced the wrong verdict, every
+# attack was flagged, and the store's snapshot round-tripped.
+set -euo pipefail
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+cleanup() {
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$tmp/vibguardd" ./cmd/vibguardd
+
+die() {
+    echo "profile-smoke: $1" >&2
+    echo "--- vibguardd log ---" >&2
+    cat "$tmp/log" >&2
+    exit 1
+}
+
+"$tmp/vibguardd" -profiles -seed 1 -users 4 -log-format text >"$tmp/log" 2>&1 \
+    || die "daemon exited nonzero"
+
+grep -q "profile pass complete" "$tmp/log" || die "profile pass did not finish"
+pass=$(grep "profile pass complete" "$tmp/log" | head -1)
+
+# The second calibration pass must hit the worker's per-user threshold
+# cache — a cold cache on pass 2 means the profile layer is not consulted.
+hits=$(echo "$pass" | sed -n 's/.*cache_hits=\([0-9]*\).*/\1/p')
+[ -n "$hits" ] || die "no cache_hits field logged: $pass"
+[ "$hits" -gt 0 ] || die "profile cache never hit: $pass"
+
+# Fused verdicts must be bit-reproducible for pinned per-session seeds.
+echo "$pass" | grep -q "fusion_mismatches=0" || die "fused scores diverged between passes: $pass"
+
+echo "$pass" | grep -q "failed=0" || die "profile pass had failed sessions: $pass"
+echo "$pass" | grep -q "verdict_mismatches=0" || die "profile pass had verdict mismatches: $pass"
+echo "$pass" | grep -q "attacks_flagged=4" || die "fused thru-barrier attacks missed: $pass"
+echo "$pass" | grep -q "snapshot_users=4" || die "profile snapshot lost users: $pass"
+
+grep -q "session server drained" "$tmp/log" || die "server did not log a clean drain"
+
+echo "profile-smoke: ok ($pass)"
