@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn route-race route-smoke bench-wire stream-race stream-smoke bench-stream profile-race profile-smoke
+.PHONY: build test check race fuzz bench bench-scoring bench-dsp bench-brnn benchgen obs-smoke serve-smoke serve-race race-brnn route-race route-smoke bench-wire stream-race stream-smoke bench-stream profile-race profile-smoke attack-race
 
 build:
 	$(GO) build ./...
@@ -22,18 +22,27 @@ race:
 	$(GO) test -race -short ./...
 
 # Short fuzz runs of the WAV decoder, the Eq. (5) alignment, the detector
-# deserializer, and the session wire-protocol frame decoder; the
-# checked-in corpora under testdata/fuzz/ replay in plain `make test` too.
+# deserializer, the session wire-protocol frame decoder, and the
+# barrier-response estimator; the checked-in corpora under testdata/fuzz/
+# replay in plain `make test` too.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/wavio/
 	$(GO) test -fuzz=FuzzAlignRecordings -fuzztime=30s ./internal/syncnet/
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/segment/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/serve/
+	$(GO) test -fuzz=FuzzEstimateBarrierGain -fuzztime=30s ./internal/attack/
 
 # Focused race run for the parallel scoring engine only.
 race-eval:
 	$(GO) vet ./internal/eval/...
 	$(GO) test -race ./internal/eval/...
+
+# Race gate for the adaptive-adversary attack corpus: the attack
+# generators (bypass equalizer, adaptive hill-climb, fuzz corpus replay)
+# and the solid-channel acoustics run under the race detector.
+attack-race:
+	$(GO) vet ./internal/attack/ ./internal/acoustics/
+	$(GO) test -race ./internal/attack/ ./internal/acoustics/
 
 # Full benchmark sweep (regenerates every figure; slow).
 bench:

@@ -8,7 +8,9 @@
 //
 // -quick shrinks the datasets (~4x faster, noisier metrics).
 // -only runs a comma-separated subset: table1, table2, fig3, fig4, fig6,
-// fig7, accuracy, fig9, fig10, fig11a, fig11b, fig11c, fig11d.
+// fig7, accuracy, fig9, fig10, fig11a, fig11b, fig11c, fig11d, attacks
+// (the per-attack defense report over all seven kinds, including the
+// adaptive-adversary extensions).
 // -workers sets the scoring worker-pool size (default GOMAXPROCS; the
 // results are bit-identical for any value, only wall time changes).
 package main
@@ -120,6 +122,11 @@ func run(quick bool, only string) error {
 	}
 	if want("fig11d") {
 		if err := runFigure11("Figure 11d: EER per room (full system)", eval.Figure11d, figCfg); err != nil {
+			return err
+		}
+	}
+	if want("attacks") {
+		if err := runAttackCorpus(figCfg); err != nil {
 			return err
 		}
 	}
@@ -257,6 +264,19 @@ func runROCFigures(kinds []attack.Kind, cfg eval.FigureConfig) error {
 		for _, s := range sums {
 			fmt.Printf("%-28s %8.3f %7.1f%% %10.2f\n", s.Name, s.AUC, s.EER*100, s.EERThreshold)
 		}
+	}
+	return nil
+}
+
+func runAttackCorpus(cfg eval.FigureConfig) error {
+	header("Attack corpus: full system vs every attack kind (holds/degrades/breaks)")
+	rows, err := eval.AttackCorpus(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %8s %8s %10s\n", "attack", "EER", "AUC", "verdict")
+	for _, r := range rows {
+		fmt.Printf("%-24s %7.1f%% %8.3f %10s\n", r.Kind, r.EER*100, r.AUC, r.Verdict)
 	}
 	return nil
 }

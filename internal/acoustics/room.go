@@ -20,6 +20,10 @@ type Room struct {
 	AmbientSPL float64
 	// ReverbGain scales the strength of early reflections (0 disables).
 	ReverbGain float64
+	// Structure is the solid surface the devices sit on, the injection
+	// path of a solid-channel attack (zero value falls back to
+	// WoodenTable in TransmitSolid).
+	Structure Structure
 }
 
 // Rooms returns the four room environments of the evaluation (Section
@@ -29,10 +33,10 @@ type Room struct {
 // barriers, B and C wood (Fig. 11b).
 func Rooms() []Room {
 	return []Room{
-		{Name: "A", LengthM: 7, WidthM: 6, Barrier: GlassWindow, AmbientSPL: 40, ReverbGain: 0.3},
-		{Name: "B", LengthM: 7, WidthM: 7, Barrier: WoodenDoor, AmbientSPL: 39, ReverbGain: 0.32},
-		{Name: "C", LengthM: 6, WidthM: 4, Barrier: WoodenDoor, AmbientSPL: 41, ReverbGain: 0.28},
-		{Name: "D", LengthM: 5, WidthM: 3, Barrier: GlassWall, AmbientSPL: 42, ReverbGain: 0.25},
+		{Name: "A", LengthM: 7, WidthM: 6, Barrier: GlassWindow, AmbientSPL: 40, ReverbGain: 0.3, Structure: WoodenTable},
+		{Name: "B", LengthM: 7, WidthM: 7, Barrier: WoodenDoor, AmbientSPL: 39, ReverbGain: 0.32, Structure: WoodenTable},
+		{Name: "C", LengthM: 6, WidthM: 4, Barrier: WoodenDoor, AmbientSPL: 41, ReverbGain: 0.28, Structure: WoodenTable},
+		{Name: "D", LengthM: 5, WidthM: 3, Barrier: GlassWall, AmbientSPL: 42, ReverbGain: 0.25, Structure: ConcreteSlab},
 	}
 }
 

@@ -1,0 +1,189 @@
+package acoustics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vibguard/internal/dsp"
+)
+
+// Structure models the structure-borne (solid-channel) transfer path of a
+// SUAD-style attack: instead of radiating through the air and the barrier,
+// the adversary clamps a transducer to the structure the devices sit on
+// (a table, a shared floor slab) and the sound reaches the receivers as
+// plate vibration re-radiated at close range.
+//
+// The transfer function has a resonant low-pass character: bending waves
+// carry low frequencies efficiently, damping eats the energy above a knee,
+// and the plate's modal resonances pass narrow high-frequency ridges. The
+// ridges are what make this the hard case for the defense — unlike the
+// barrier, which strips the high band wholesale, the solid channel
+// preserves part of it, so the cross-domain correlation is only partially
+// destroyed.
+type Structure struct {
+	// Name labels the structure in reports, e.g. "wooden table".
+	Name string
+	// ContactGain is the broadband drive coupling below the knee.
+	ContactGain float64
+	// CutoffHz is the low-pass knee: below it the plate carries the
+	// drive at ContactGain.
+	CutoffHz float64
+	// RolloffHz is the exponential damping scale above the knee.
+	RolloffHz float64
+	// FloorGain is the residual transmission floor at high frequencies.
+	FloorGain float64
+	// Modes are the resonant bending modes passing high-frequency ridges.
+	Modes []StructureMode
+	// DampingPerMeter is the along-structure propagation loss in nepers
+	// per meter.
+	DampingPerMeter float64
+}
+
+// StructureMode is one resonant bending mode of the plate.
+type StructureMode struct {
+	// FreqHz is the modal center frequency.
+	FreqHz float64
+	// Gain is the peak transmission gain added at the center.
+	Gain float64
+	// WidthHz is the Gaussian half-width of the ridge.
+	WidthHz float64
+}
+
+// Standard structures of the solid-channel evaluation.
+var (
+	// WoodenTable is a typical wooden desk or table the VA device sits
+	// on: efficient low-frequency coupling and pronounced modal ridges.
+	WoodenTable = Structure{
+		Name:        "wooden table",
+		ContactGain: 0.9,
+		CutoffHz:    500,
+		RolloffHz:   600,
+		FloorGain:   0.02,
+		Modes: []StructureMode{
+			{FreqHz: 1300, Gain: 0.18, WidthHz: 220},
+			{FreqHz: 2400, Gain: 0.12, WidthHz: 260},
+			{FreqHz: 3700, Gain: 0.06, WidthHz: 300},
+		},
+		DampingPerMeter: 0.35,
+	}
+	// ConcreteSlab is a shared concrete floor: heavier damping, weaker
+	// and lower modal ridges.
+	ConcreteSlab = Structure{
+		Name:        "concrete slab",
+		ContactGain: 0.7,
+		CutoffHz:    350,
+		RolloffHz:   450,
+		FloorGain:   0.01,
+		Modes: []StructureMode{
+			{FreqHz: 900, Gain: 0.12, WidthHz: 160},
+			{FreqHz: 1900, Gain: 0.07, WidthHz: 220},
+		},
+		DampingPerMeter: 0.8,
+	}
+)
+
+// Validate checks structure parameters.
+func (s Structure) Validate() error {
+	if s.ContactGain <= 0 {
+		return fmt.Errorf("acoustics: structure %q contact gain %v must be positive", s.Name, s.ContactGain)
+	}
+	if s.CutoffHz <= 0 || s.RolloffHz <= 0 {
+		return fmt.Errorf("acoustics: structure %q knee (%v, %v) must be positive", s.Name, s.CutoffHz, s.RolloffHz)
+	}
+	if s.FloorGain < 0 || s.FloorGain > s.ContactGain {
+		return fmt.Errorf("acoustics: structure %q floor gain %v outside [0, %v]", s.Name, s.FloorGain, s.ContactGain)
+	}
+	if s.DampingPerMeter < 0 {
+		return fmt.Errorf("acoustics: structure %q damping %v must be non-negative", s.Name, s.DampingPerMeter)
+	}
+	for _, m := range s.Modes {
+		if m.FreqHz <= 0 || m.Gain < 0 || m.WidthHz <= 0 {
+			return fmt.Errorf("acoustics: structure %q has invalid mode %+v", s.Name, m)
+		}
+	}
+	return nil
+}
+
+// Gain returns the structure-borne pressure transmission gain at frequency
+// f: the resonant low-pass base curve plus the modal ridges.
+func (s Structure) Gain(f float64) float64 {
+	if f < 0 {
+		f = -f
+	}
+	base := s.ContactGain
+	if f > s.CutoffHz {
+		base = s.ContactGain * math.Exp(-(f-s.CutoffHz)/s.RolloffHz)
+		if base < s.FloorGain {
+			base = s.FloorGain
+		}
+	}
+	for _, m := range s.Modes {
+		d := f - m.FreqHz
+		base += m.Gain * math.Exp(-d*d/(2*m.WidthHz*m.WidthHz))
+	}
+	return base
+}
+
+// Apply filters a signal through the structure's transmission curve.
+func (s Structure) Apply(x []float64, sampleRate float64) []float64 {
+	return dsp.FrequencyShape(x, sampleRate, s.Gain)
+}
+
+// PropagationGain returns the along-structure amplitude gain after
+// traveling the given distance in meters (exponential structural damping;
+// negative distances clamp to zero).
+func (s Structure) PropagationGain(distanceM float64) float64 {
+	if distanceM < 0 {
+		distanceM = 0
+	}
+	return math.Exp(-s.DampingPerMeter * distanceM)
+}
+
+// SolidPathConfig describes one structure-borne path from the adversary's
+// contact transducer to a receiver sitting on (or right next to) the
+// structure.
+type SolidPathConfig struct {
+	// SourceSPL is the drive level at the injection point in dB SPL.
+	SourceSPL float64
+	// DistanceM is the along-structure distance to the receiver in
+	// meters.
+	DistanceM float64
+	// SampleRate of the signal.
+	SampleRate float64
+}
+
+// TransmitSolid carries a unit-calibrated source waveform along the
+// structure-borne path: the drive is scaled to SourceSPL, filtered through
+// the structure's resonant low-pass transmission, damped over the
+// along-structure distance, and mixed with the room's ambient noise. The
+// path is a direct mechanical coupling, so unlike Transmit there is no
+// spherical spreading, no barrier, and no room reverberation — the
+// receivers hear the plate itself. Rooms without an explicit Structure
+// fall back to WoodenTable.
+func (r *Room) TransmitSolid(source []float64, cfg SolidPathConfig, rng *rand.Rand) ([]float64, error) {
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("acoustics: sample rate %v must be positive", cfg.SampleRate)
+	}
+	if cfg.DistanceM < 0 {
+		return nil, fmt.Errorf("acoustics: distance %vm must be non-negative", cfg.DistanceM)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	st := r.Structure
+	if st.Name == "" {
+		st = WoodenTable
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	calibrated, err := dsp.NormalizeRMS(source, dsp.SPLToAmplitude(cfg.SourceSPL))
+	if err != nil {
+		return nil, fmt.Errorf("acoustics: %w", err)
+	}
+	x := st.Apply(calibrated, cfg.SampleRate)
+	x = dsp.Scale(x, st.PropagationGain(cfg.DistanceM))
+	noise := AmbientNoise(len(x), r.AmbientSPL, cfg.SampleRate, rng)
+	return dsp.Mix(x, noise), nil
+}

@@ -1,0 +1,150 @@
+package acoustics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vibguard/internal/dsp"
+)
+
+func TestStructurePresetsValid(t *testing.T) {
+	for _, s := range []Structure{WoodenTable, ConcreteSlab} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	bad := WoodenTable
+	bad.ContactGain = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero contact gain should fail validation")
+	}
+	bad = WoodenTable
+	bad.Modes = []StructureMode{{FreqHz: -1, Gain: 0.1, WidthHz: 100}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative mode frequency should fail validation")
+	}
+}
+
+// TestStructureGainShape pins the resonant low-pass character: full
+// coupling below the knee, decay above it, but modal ridges that pass
+// measurably more than the surrounding floor — the partial high-frequency
+// leak that distinguishes the solid channel from a barrier.
+func TestStructureGainShape(t *testing.T) {
+	s := WoodenTable
+	if g := s.Gain(200); g < s.ContactGain*0.9 {
+		t.Errorf("low-frequency gain %v should be near contact gain %v", g, s.ContactGain)
+	}
+	if s.Gain(5500) >= s.Gain(300) {
+		t.Error("structure should attenuate highs relative to lows")
+	}
+	for _, m := range s.Modes {
+		ridge := s.Gain(m.FreqHz)
+		shoulder := s.Gain(m.FreqHz + 4*m.WidthHz)
+		if ridge < 1.5*shoulder {
+			t.Errorf("mode at %v Hz: ridge gain %v not clearly above shoulder %v", m.FreqHz, ridge, shoulder)
+		}
+	}
+	// The ridge pass-through is what a barrier never allows: compare with
+	// the glass window at the first mode.
+	mode := s.Modes[0]
+	if s.Gain(mode.FreqHz) < 10*GlassWindow.Gain(mode.FreqHz) {
+		t.Errorf("solid channel at %v Hz (%v) should dominate the glass barrier (%v)",
+			mode.FreqHz, s.Gain(mode.FreqHz), GlassWindow.Gain(mode.FreqHz))
+	}
+	if g := s.Gain(-300); g != s.Gain(300) {
+		t.Errorf("negative frequency gain %v != positive %v", g, s.Gain(300))
+	}
+}
+
+func TestStructurePropagationGain(t *testing.T) {
+	s := WoodenTable
+	if g := s.PropagationGain(0); g != 1 {
+		t.Errorf("zero distance gain %v != 1", g)
+	}
+	if g := s.PropagationGain(-5); g != 1 {
+		t.Errorf("negative distance gain %v != 1", g)
+	}
+	if s.PropagationGain(2) >= s.PropagationGain(1) {
+		t.Error("farther along the structure should be quieter")
+	}
+	want := math.Exp(-s.DampingPerMeter * 1.5)
+	if got := s.PropagationGain(1.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PropagationGain(1.5) = %v, want %v", got, want)
+	}
+}
+
+func TestTransmitSolid(t *testing.T) {
+	room, err := RoomByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dsp.Chirp(100, 4000, 0.5, 0.5, 16000)
+	rng := rand.New(rand.NewSource(1))
+	out, err := room.TransmitSolid(src, SolidPathConfig{SourceSPL: 75, DistanceM: 0.5, SampleRate: 16000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(src) {
+		t.Errorf("length changed: %d -> %d", len(src), len(out))
+	}
+	if dsp.RMS(out) == 0 {
+		t.Error("silent solid transmission")
+	}
+	// The structural low-pass must tilt the spectrum toward the lows
+	// relative to the flat input chirp.
+	highLowRatio := func(x []float64) float64 {
+		spec := dsp.PowerSpectrum(x)
+		var low, high float64
+		for k := 1; k < len(spec); k++ {
+			f := dsp.BinFrequency(k, len(x), 16000)
+			if f < 600 {
+				low += spec[k]
+			} else if f < 8000 {
+				high += spec[k]
+			}
+		}
+		return high / low
+	}
+	if rOut, rIn := highLowRatio(out), highLowRatio(src); rOut >= rIn {
+		t.Errorf("solid path should tilt energy toward lows: high/low ratio %v in, %v out", rIn, rOut)
+	}
+
+	if _, err := room.TransmitSolid(src, SolidPathConfig{SourceSPL: 75, DistanceM: -1, SampleRate: 16000}, rng); err == nil {
+		t.Error("negative distance should error")
+	}
+	if _, err := room.TransmitSolid(src, SolidPathConfig{SourceSPL: 75, DistanceM: 1, SampleRate: 0}, rng); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	// A silent source transmits as ambient noise only, matching Transmit.
+	quiet, err := room.TransmitSolid(make([]float64, 1000), SolidPathConfig{SourceSPL: 75, DistanceM: 1, SampleRate: 16000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.RMS(quiet) == 0 {
+		t.Error("silent source should still carry ambient noise")
+	}
+}
+
+// TestTransmitSolidFallsBackToWoodenTable: a room constructed without an
+// explicit structure still transmits.
+func TestTransmitSolidFallsBackToWoodenTable(t *testing.T) {
+	room := Room{Name: "bare", LengthM: 5, WidthM: 4, Barrier: GlassWindow, AmbientSPL: 40}
+	src := dsp.Chirp(100, 4000, 0.5, 0.25, 16000)
+	rng := rand.New(rand.NewSource(2))
+	out, err := room.TransmitSolid(src, SolidPathConfig{SourceSPL: 75, DistanceM: 0.5, SampleRate: 16000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.RMS(out) == 0 {
+		t.Error("silent fallback transmission")
+	}
+}
+
+func TestRoomsHaveStructures(t *testing.T) {
+	for _, r := range Rooms() {
+		if err := r.Structure.Validate(); err != nil {
+			t.Errorf("room %s: %v", r.Name, err)
+		}
+	}
+}

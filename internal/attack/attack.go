@@ -1,13 +1,18 @@
-// Package attack implements the four thru-barrier attack types of the
-// threat model (Section II): random attacks (another speaker's voice),
+// Package attack implements the thru-barrier attack types of the paper's
+// threat model (Section II) — random attacks (another speaker's voice),
 // replay attacks (recorded victim audio through a loudspeaker), voice
 // synthesis attacks (a parametric voice clone trained on victim samples),
 // and hidden voice attacks (obfuscated noise-like commands that remain
-// machine-recognizable).
+// machine-recognizable) — plus the adaptive-adversary corpus that followed
+// the paper: solid-channel injection through the structure the devices sit
+// on (SUAD), barrier-bypass pre-equalization that cancels the barrier's
+// frequency-selective attenuation (BarrierBypass), and a seeded
+// optimization loop that tunes loudspeaker EQ against the defense's own
+// correlation score (VRifle-style adaptive attack).
 //
-// Every attack produces the acoustic waveform the adversary's loudspeaker
-// emits; the acoustics package then carries it through the barrier into
-// the room.
+// Every attack produces the waveform the adversary's playback device
+// emits; the acoustics package then carries it through the barrier (or the
+// solid structure) into the room.
 package attack
 
 import (
@@ -23,15 +28,34 @@ import (
 // Kind identifies an attack type.
 type Kind int
 
-// Attack kinds of Section II.
+// Attack kinds: the four of Section II in paper order, then the
+// adaptive-adversary extensions in publication order. kindCount is a
+// sentinel pinning the exhaustiveness tests: adding a kind without
+// updating String, Kinds, and the eval corpus builder fails a test
+// instead of silently shrinking coverage.
 const (
 	Random Kind = iota + 1
 	Replay
 	Synthesis
 	HiddenVoice
+	// SolidChannel is the SUAD-style attack: the command is injected
+	// through the solid structure the devices sit on, a propagation path
+	// the air/barrier model never sees.
+	SolidChannel
+	// BarrierBypass pre-equalizes the command to cancel the barrier's
+	// frequency-selective attenuation, so the post-barrier signal is
+	// near-flat — a direct counter to the defense's core mechanism.
+	BarrierBypass
+	// Adaptive hill-climbs loudspeaker EQ parameters against the
+	// defense's own correlation score (the VRifle-style IR-robust
+	// training loop), using estimated barrier responses.
+	Adaptive
+
+	kindCount
 )
 
-// String names the attack as in the paper.
+// String names the attack as in the paper (and the follow-up literature
+// for the extension kinds).
 func (k Kind) String() string {
 	switch k {
 	case Random:
@@ -42,13 +66,32 @@ func (k Kind) String() string {
 		return "voice synthesis attack"
 	case HiddenVoice:
 		return "hidden voice attack"
+	case SolidChannel:
+		return "solid channel attack"
+	case BarrierBypass:
+		return "barrier bypass attack"
+	case Adaptive:
+		return "adaptive attack"
 	default:
 		return "unknown"
 	}
 }
 
-// Kinds returns all four attack kinds in paper order.
-func Kinds() []Kind { return []Kind{Random, Replay, Synthesis, HiddenVoice} }
+// Kinds returns every attack kind: the paper's four, then the
+// adaptive-adversary extensions. The golden EER/AUC regression and the
+// eval corpus builder iterate this list, so a kind added here is
+// automatically part of every future regression run.
+func Kinds() []Kind {
+	kinds := make([]Kind, 0, kindCount-1)
+	for k := Random; k < kindCount; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+// PaperKinds returns only the four attack kinds of the paper's threat
+// model (Section II), the set every figure reproduction sweeps.
+func PaperKinds() []Kind { return []Kind{Random, Replay, Synthesis, HiddenVoice} }
 
 // Attacker generates attack waveforms against a victim.
 type Attacker struct {

@@ -13,6 +13,8 @@ func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		Random: "random attack", Replay: "replay attack",
 		Synthesis: "voice synthesis attack", HiddenVoice: "hidden voice attack",
+		SolidChannel: "solid channel attack", BarrierBypass: "barrier bypass attack",
+		Adaptive: "adaptive attack",
 		Kind(0): "unknown",
 	}
 	for k, want := range names {
@@ -20,8 +22,11 @@ func TestKindString(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", k, got, want)
 		}
 	}
-	if len(Kinds()) != 4 {
-		t.Error("Kinds() should return 4 attacks")
+	if len(Kinds()) != 7 {
+		t.Errorf("Kinds() returned %d attacks, want 7", len(Kinds()))
+	}
+	if len(PaperKinds()) != 4 {
+		t.Errorf("PaperKinds() returned %d attacks, want 4", len(PaperKinds()))
 	}
 }
 

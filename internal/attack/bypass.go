@@ -1,0 +1,288 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vibguard/internal/dsp"
+)
+
+// The BarrierBypass attack (following the BarrierBypass paper) directly
+// counters the defense's core mechanism: instead of accepting the
+// barrier's frequency-selective attenuation — the physical signature the
+// vibration-domain correlation keys on — the adversary first estimates the
+// barrier's transmission curve with probe audio, then pre-equalizes the
+// command with the inverse curve so the post-barrier signal is near-flat.
+// The equalizer is bounded by a loudspeaker amplitude budget: per-frequency
+// boost is capped and the pre-equalized waveform never clips past the
+// playback ceiling, so a heavy barrier (brick) stays physically
+// unbypassable.
+
+// ErrBadProbe is returned when the probe pair is unusable for barrier
+// estimation: too short, silent, or carrying no measurable band energy.
+var ErrBadProbe = errors.New("attack: probe unusable for barrier estimation")
+
+// minProbeSamples is the shortest probe the estimator accepts.
+const minProbeSamples = 512
+
+// Estimated gains are clamped to this range: a barrier never amplifies
+// (beyond small measurement ripple) and the estimator never reports a
+// band as fully opaque, so the inverse equalizer stays finite.
+const (
+	minEstimatedGain = 1e-4
+	maxEstimatedGain = 10.0
+)
+
+// GainEstimate is an estimated barrier transmission curve: per-band
+// pressure gains at ascending center frequencies. All gains are finite and
+// within [minEstimatedGain, maxEstimatedGain] by construction.
+type GainEstimate struct {
+	// Freqs are the band center frequencies in Hz, ascending.
+	Freqs []float64
+	// Gains are the estimated pressure gains per band.
+	Gains []float64
+}
+
+// Gain interpolates the estimated transmission gain at frequency f
+// (piecewise linear between band centers, clamped at the ends). It is
+// total: any f, including non-finite values, yields a finite positive
+// gain.
+func (e *GainEstimate) Gain(f float64) float64 {
+	if len(e.Gains) == 0 {
+		return 1
+	}
+	if math.IsNaN(f) || f <= e.Freqs[0] {
+		return e.Gains[0]
+	}
+	last := len(e.Freqs) - 1
+	if f >= e.Freqs[last] {
+		return e.Gains[last]
+	}
+	for i := 1; i <= last; i++ {
+		if f <= e.Freqs[i] {
+			span := e.Freqs[i] - e.Freqs[i-1]
+			if span <= 0 {
+				return e.Gains[i]
+			}
+			frac := (f - e.Freqs[i-1]) / span
+			return e.Gains[i-1] + (e.Gains[i]-e.Gains[i-1])*frac
+		}
+	}
+	return e.Gains[last]
+}
+
+// ProbeSignal returns the deterministic wide-band chirp the adversary
+// plays through the barrier to measure its transmission curve (85 Hz to
+// just under the loudspeaker band edge, one second).
+func ProbeSignal(sampleRate float64) []float64 {
+	hi := 7000.0
+	if hi > 0.45*sampleRate {
+		hi = 0.45 * sampleRate
+	}
+	return dsp.Chirp(85, hi, 0.5, 1.0, sampleRate)
+}
+
+// EstimateBarrierGain estimates a barrier's transmission curve from a
+// probe played on the attacker's side and the signal received behind the
+// barrier. It splits the spectrum into geometrically spaced bands and
+// takes the per-band energy ratio. The estimator is total over corrupt
+// input: non-finite samples are treated as dropouts, unmeasurable bands
+// inherit the nearest measured neighbor, and every returned gain is
+// finite and clamped; genuinely unusable probes (short, silent) return
+// ErrBadProbe instead.
+func EstimateBarrierGain(probe, received []float64, sampleRate float64, bands int) (*GainEstimate, error) {
+	if math.IsNaN(sampleRate) || math.IsInf(sampleRate, 0) || sampleRate <= 0 {
+		return nil, fmt.Errorf("attack: sample rate %v must be positive", sampleRate)
+	}
+	if bands < 2 {
+		return nil, fmt.Errorf("attack: need at least 2 estimation bands, got %d", bands)
+	}
+	if bands > 128 {
+		bands = 128
+	}
+	n := len(probe)
+	if len(received) < n {
+		n = len(received)
+	}
+	if n < minProbeSamples {
+		return nil, fmt.Errorf("%w: %d samples", ErrBadProbe, n)
+	}
+	sanitize := func(x []float64) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if v := x[i]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+				out[i] = v
+			}
+		}
+		return out
+	}
+	ps := dsp.PowerSpectrum(sanitize(probe))
+	rs := dsp.PowerSpectrum(sanitize(received))
+
+	lo := 85.0
+	hi := 7000.0
+	if hi > 0.45*sampleRate {
+		hi = 0.45 * sampleRate
+	}
+	if hi <= lo*1.2 {
+		return nil, fmt.Errorf("attack: band [%v, %v] too narrow at rate %v", lo, hi, sampleRate)
+	}
+	// Geometric band edges: speech-relevant resolution at the low end,
+	// coarser where the barrier curve is smooth.
+	ratio := math.Pow(hi/lo, 1/float64(bands))
+	edges := make([]float64, bands+1)
+	edges[0] = lo
+	for i := 1; i <= bands; i++ {
+		edges[i] = edges[i-1] * ratio
+	}
+	probeE := make([]float64, bands)
+	recvE := make([]float64, bands)
+	var totalProbe float64
+	for k := 1; k < len(ps); k++ {
+		f := dsp.BinFrequency(k, n, sampleRate)
+		if f < lo || f >= hi {
+			continue
+		}
+		b := int(math.Log(f/lo) / math.Log(ratio))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bands {
+			b = bands - 1
+		}
+		probeE[b] += ps[k]
+		recvE[b] += rs[k]
+		totalProbe += ps[k]
+	}
+	if totalProbe <= 0 || math.IsNaN(totalProbe) || math.IsInf(totalProbe, 0) {
+		return nil, fmt.Errorf("%w: silent probe", ErrBadProbe)
+	}
+
+	est := &GainEstimate{
+		Freqs: make([]float64, bands),
+		Gains: make([]float64, bands),
+	}
+	measured := false
+	for b := 0; b < bands; b++ {
+		est.Freqs[b] = math.Sqrt(edges[b] * edges[b+1])
+		g := math.NaN()
+		// A band carrying less than a millionth of the probe energy is a
+		// measurement hole, not a barrier property.
+		if probeE[b] > totalProbe*1e-6 {
+			g = math.Sqrt(recvE[b] / probeE[b])
+		}
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			est.Gains[b] = math.NaN() // fill from neighbors below
+			continue
+		}
+		if g < minEstimatedGain {
+			g = minEstimatedGain
+		}
+		if g > maxEstimatedGain {
+			g = maxEstimatedGain
+		}
+		est.Gains[b] = g
+		measured = true
+	}
+	if !measured {
+		return nil, fmt.Errorf("%w: no measurable band", ErrBadProbe)
+	}
+	// Unmeasured bands inherit the nearest measured neighbor (forward
+	// pass fills from the left, backward pass covers a leading hole).
+	for b := 1; b < bands; b++ {
+		if math.IsNaN(est.Gains[b]) && !math.IsNaN(est.Gains[b-1]) {
+			est.Gains[b] = est.Gains[b-1]
+		}
+	}
+	for b := bands - 2; b >= 0; b-- {
+		if math.IsNaN(est.Gains[b]) && !math.IsNaN(est.Gains[b+1]) {
+			est.Gains[b] = est.Gains[b+1]
+		}
+	}
+	return est, nil
+}
+
+// BypassConfig bounds the inverse equalizer by the loudspeaker's physical
+// limits.
+type BypassConfig struct {
+	// MaxBoostDB caps the per-frequency inverse-EQ boost: the
+	// loudspeaker's amplitude budget. Bands whose required boost exceeds
+	// it stay under-equalized.
+	MaxBoostDB float64
+	// CeilingPeak is the playback ceiling on the pre-equalized waveform
+	// (digital full scale); the waveform is rescaled below it rather
+	// than clipped.
+	CeilingPeak float64
+	// SampleRate of the command audio.
+	SampleRate float64
+}
+
+// DefaultBypassConfig returns the budget of a strong consumer
+// loudspeaker: 40 dB of equalization headroom at a 0.999 full-scale
+// ceiling.
+func DefaultBypassConfig(sampleRate float64) BypassConfig {
+	return BypassConfig{MaxBoostDB: 40, CeilingPeak: 0.999, SampleRate: sampleRate}
+}
+
+// Validate checks the bypass configuration.
+func (c *BypassConfig) Validate() error {
+	if c.MaxBoostDB < 0 {
+		return fmt.Errorf("attack: max boost %v dB must be non-negative", c.MaxBoostDB)
+	}
+	if c.CeilingPeak <= 0 {
+		return fmt.Errorf("attack: ceiling %v must be positive", c.CeilingPeak)
+	}
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("attack: sample rate %v must be positive", c.SampleRate)
+	}
+	return nil
+}
+
+// PreEqualize applies the budget-bounded inverse of the estimated barrier
+// curve to the command: each frequency is boosted by min(1/gain,
+// MaxBoostDB) so the post-barrier spectrum is near-flat wherever the
+// budget allows, and the result is rescaled to the playback ceiling if the
+// boost pushed its peak past it.
+func PreEqualize(commandAudio []float64, est *GainEstimate, cfg BypassConfig) ([]float64, error) {
+	if len(commandAudio) == 0 {
+		return nil, fmt.Errorf("attack: empty command audio")
+	}
+	if est == nil || len(est.Gains) == 0 {
+		return nil, fmt.Errorf("attack: nil barrier estimate")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxBoost := dsp.DBToAmplitude(cfg.MaxBoostDB)
+	out := dsp.FrequencyShape(commandAudio, cfg.SampleRate, func(f float64) float64 {
+		boost := 1 / est.Gain(f)
+		if boost > maxBoost {
+			boost = maxBoost
+		}
+		if boost < 1 {
+			// The estimate can exceed unity on measurement ripple; never
+			// attenuate the command below its own level.
+			boost = 1
+		}
+		return boost
+	})
+	if peak := dsp.MaxAbs(out); peak > cfg.CeilingPeak {
+		out = dsp.Scale(out, cfg.CeilingPeak/peak)
+	}
+	return out, nil
+}
+
+// BarrierBypassAttack pre-equalizes the command against the estimated
+// barrier curve and renders it through the attack loudspeaker.
+func (a *Attacker) BarrierBypassAttack(commandAudio []float64, est *GainEstimate, cfg BypassConfig) ([]float64, error) {
+	eq, err := PreEqualize(commandAudio, est, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out, err := a.Loudspeaker.Render(eq)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return out, nil
+}

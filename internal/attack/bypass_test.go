@@ -1,0 +1,216 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vibguard/internal/acoustics"
+	"vibguard/internal/dsp"
+	"vibguard/internal/phoneme"
+)
+
+const testRate = 16000.0
+
+// noiselessEstimate measures a barrier with the deterministic probe, as
+// the corpus builder does.
+func noiselessEstimate(t *testing.T, b acoustics.Barrier) *GainEstimate {
+	t.Helper()
+	probe := ProbeSignal(testRate)
+	est, err := EstimateBarrierGain(probe, b.Apply(probe, testRate), testRate, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func testCommand(t *testing.T) []float64 {
+	t.Helper()
+	synth, err := phoneme.NewSynthesizer(phoneme.NewVoicePool(1, 3)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	utt, err := synth.Synthesize(phoneme.Commands()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return utt.Samples
+}
+
+// profileBands are the coarse speech bands the flatness property compares.
+var profileBands = []struct{ lo, hi float64 }{
+	{150, 500}, {500, 1500}, {1500, 3000}, {3000, 5000},
+}
+
+// bandProfileDB returns the signal's per-band energy in dB, normalized to
+// the first band, so only the spectral *shape* is compared.
+func bandProfileDB(x []float64) []float64 {
+	spec := dsp.PowerSpectrum(x)
+	energies := make([]float64, len(profileBands))
+	for k := 1; k < len(spec); k++ {
+		f := dsp.BinFrequency(k, len(x), testRate)
+		for b, band := range profileBands {
+			if f >= band.lo && f < band.hi {
+				energies[b] += spec[k]
+			}
+		}
+	}
+	out := make([]float64, len(energies))
+	for b, e := range energies {
+		out[b] = 10 * math.Log10(e/energies[0])
+	}
+	return out
+}
+
+// TestEstimateBarrierGainTracksTruth checks the estimator against the
+// analytic transmission curve for every preset barrier: in bands the
+// clamp does not flatten, the estimate stays within a few dB of truth.
+func TestEstimateBarrierGainTracksTruth(t *testing.T) {
+	for _, b := range []acoustics.Barrier{acoustics.GlassWindow, acoustics.WoodenDoor, acoustics.GlassWall, acoustics.BrickWall} {
+		est := noiselessEstimate(t, b)
+		for i, f := range est.Freqs {
+			truth := b.Gain(f)
+			if truth < minEstimatedGain*2 || truth > maxEstimatedGain/2 {
+				continue // clamp region: the estimate saturates by design
+			}
+			gotDB := dsp.AmplitudeToDB(est.Gains[i])
+			wantDB := dsp.AmplitudeToDB(truth)
+			if math.Abs(gotDB-wantDB) > 4 {
+				t.Errorf("%s: estimated gain at %.0f Hz = %.1f dB, true %.1f dB", b.Name, f, gotDB, wantDB)
+			}
+		}
+	}
+}
+
+// TestPreEqualizeFlattensFeasibleBarriers is the bypass property: for each
+// preset barrier, the pre-equalized command after Barrier.Apply has a
+// spectral shape within tolerance of the clean command in every band the
+// amplitude budget can reach. Glass and wood are fully feasible under the
+// default 40 dB budget; the brick wall is infeasible in every band, and
+// the post-barrier spectrum must stay far from flat — the physical reason
+// the defense holds against bypass through brick.
+func TestPreEqualizeFlattensFeasibleBarriers(t *testing.T) {
+	cmd := testCommand(t)
+	cleanProfile := bandProfileDB(cmd)
+	cfg := DefaultBypassConfig(testRate)
+	for _, b := range []acoustics.Barrier{acoustics.GlassWindow, acoustics.WoodenDoor, acoustics.GlassWall, acoustics.BrickWall} {
+		est := noiselessEstimate(t, b)
+		eq, err := PreEqualize(cmd, est, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak := dsp.MaxAbs(eq); peak > cfg.CeilingPeak+1e-12 {
+			t.Errorf("%s: pre-equalized peak %v exceeds ceiling %v", b.Name, peak, cfg.CeilingPeak)
+		}
+		behind := b.Apply(eq, testRate)
+		profile := bandProfileDB(behind)
+
+		// A band is feasible when the budget covers the required boost
+		// across the whole band (sampled at its edges and center).
+		feasible := func(lo, hi float64) bool {
+			for _, f := range []float64{lo, math.Sqrt(lo * hi), hi} {
+				if -dsp.AmplitudeToDB(est.Gain(f)) > cfg.MaxBoostDB {
+					return false
+				}
+			}
+			return true
+		}
+		anyFeasible := false
+		for i, band := range profileBands {
+			if !feasible(band.lo, band.hi) {
+				continue
+			}
+			anyFeasible = true
+			if diff := math.Abs(profile[i] - cleanProfile[i]); diff > 6 {
+				t.Errorf("%s: band %.0f-%.0f Hz off by %.1f dB after bypass (clean %.1f, got %.1f)",
+					b.Name, band.lo, band.hi, diff, cleanProfile[i], profile[i])
+			}
+		}
+		if b.Name == acoustics.BrickWall.Name {
+			if anyFeasible {
+				t.Error("brick wall should have no feasible band under a 40 dB budget")
+			}
+			// The un-equalizable tilt must survive: high band still far
+			// below the clean shape.
+			last := len(profileBands) - 1
+			if cleanProfile[last]-profile[last] < 15 {
+				t.Errorf("brick wall post-bypass high band only %.1f dB below clean shape; bypass should fail",
+					cleanProfile[last]-profile[last])
+			}
+		} else if !anyFeasible {
+			t.Errorf("%s: expected feasible bands under a 40 dB budget", b.Name)
+		}
+	}
+}
+
+// TestPreEqualizeRespectsTinyCeiling exercises the rescale path: a ceiling
+// below the command's own peak must still be respected.
+func TestPreEqualizeRespectsTinyCeiling(t *testing.T) {
+	cmd := testCommand(t)
+	est := noiselessEstimate(t, acoustics.GlassWindow)
+	cfg := DefaultBypassConfig(testRate)
+	cfg.CeilingPeak = 0.01
+	eq, err := PreEqualize(cmd, est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := dsp.MaxAbs(eq); peak > cfg.CeilingPeak+1e-12 {
+		t.Errorf("peak %v exceeds tiny ceiling %v", peak, cfg.CeilingPeak)
+	}
+}
+
+func TestEstimateBarrierGainErrors(t *testing.T) {
+	probe := ProbeSignal(testRate)
+	if _, err := EstimateBarrierGain(probe[:100], probe[:100], testRate, 24); !errors.Is(err, ErrBadProbe) {
+		t.Errorf("short probe: err = %v, want ErrBadProbe", err)
+	}
+	silent := make([]float64, 4096)
+	if _, err := EstimateBarrierGain(silent, silent, testRate, 24); !errors.Is(err, ErrBadProbe) {
+		t.Errorf("silent probe: err = %v, want ErrBadProbe", err)
+	}
+	if _, err := EstimateBarrierGain(probe, probe, 0, 24); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	if _, err := EstimateBarrierGain(probe, probe, testRate, 1); err == nil {
+		t.Error("single band should error")
+	}
+}
+
+func TestGainEstimateInterpolation(t *testing.T) {
+	est := &GainEstimate{Freqs: []float64{100, 1000}, Gains: []float64{1, 0.1}}
+	if g := est.Gain(50); g != 1 {
+		t.Errorf("below range: %v", g)
+	}
+	if g := est.Gain(5000); g != 0.1 {
+		t.Errorf("above range: %v", g)
+	}
+	if g := est.Gain(550); g <= 0.1 || g >= 1 {
+		t.Errorf("interpolated gain %v outside (0.1, 1)", g)
+	}
+	if g := est.Gain(math.NaN()); g != 1 {
+		t.Errorf("NaN frequency: %v", g)
+	}
+	empty := &GainEstimate{}
+	if g := empty.Gain(100); g != 1 {
+		t.Errorf("empty estimate: %v", g)
+	}
+}
+
+func TestBarrierBypassAttackRenders(t *testing.T) {
+	a := NewAttacker(7)
+	cmd := testCommand(t)
+	est := noiselessEstimate(t, acoustics.GlassWindow)
+	out, err := a.BarrierBypassAttack(cmd, est, DefaultBypassConfig(testRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.RMS(out) == 0 {
+		t.Error("silent bypass attack")
+	}
+	if _, err := a.BarrierBypassAttack(nil, est, DefaultBypassConfig(testRate)); err == nil {
+		t.Error("empty command should error")
+	}
+	if _, err := a.BarrierBypassAttack(cmd, nil, DefaultBypassConfig(testRate)); err == nil {
+		t.Error("nil estimate should error")
+	}
+}

@@ -1,0 +1,85 @@
+package attack
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzBytesToSamples reinterprets fuzz bytes as float64 samples, capped so
+// a large input cannot stall the FFT.
+func fuzzBytesToSamples(b []byte, maxSamples int) []float64 {
+	n := len(b) / 8
+	if n > maxSamples {
+		n = maxSamples
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// FuzzEstimateBarrierGain fuzzes the barrier-response estimator with
+// corrupt probe pairs: arbitrary bit patterns (NaN, Inf, denormals),
+// short, silent, or mismatched-length inputs. The estimator must never
+// panic, and whenever it returns an estimate every gain — and every
+// interpolated Gain(f) lookup, including non-finite frequencies — must be
+// finite and inside the clamp range.
+func FuzzEstimateBarrierGain(f *testing.F) {
+	probe := ProbeSignal(16000)[:2048]
+	probeBytes := make([]byte, len(probe)*8)
+	for i, v := range probe {
+		binary.LittleEndian.PutUint64(probeBytes[i*8:], math.Float64bits(v))
+	}
+	attenuated := make([]byte, len(probeBytes))
+	for i := 0; i < len(probe); i++ {
+		binary.LittleEndian.PutUint64(attenuated[i*8:], math.Float64bits(probe[i]*0.01))
+	}
+	nanBytes := make([]byte, 8192)
+	for i := 0; i+8 <= len(nanBytes); i += 8 {
+		binary.LittleEndian.PutUint64(nanBytes[i:], math.Float64bits(math.NaN()))
+	}
+	f.Add(probeBytes, attenuated, 24, 16000.0)
+	f.Add(probeBytes, nanBytes, 8, 16000.0)
+	f.Add(nanBytes, nanBytes, 4, 8000.0)
+	f.Add([]byte{}, []byte{}, 24, 16000.0)
+	f.Add(probeBytes[:1024], probeBytes[:1024], 2, 100.0)
+	f.Add(probeBytes, probeBytes, 1000, math.Inf(1))
+	f.Add(probeBytes, attenuated, -3, math.NaN())
+
+	f.Fuzz(func(t *testing.T, probeB, recvB []byte, bands int, rate float64) {
+		const maxSamples = 1 << 15
+		p := fuzzBytesToSamples(probeB, maxSamples)
+		r := fuzzBytesToSamples(recvB, maxSamples)
+		est, err := EstimateBarrierGain(p, r, rate, bands)
+		if err != nil {
+			if est != nil {
+				t.Fatal("non-nil estimate alongside error")
+			}
+			return
+		}
+		if len(est.Freqs) != len(est.Gains) || len(est.Gains) == 0 {
+			t.Fatalf("malformed estimate: %d freqs, %d gains", len(est.Freqs), len(est.Gains))
+		}
+		prev := 0.0
+		for i, g := range est.Gains {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				t.Fatalf("non-finite gain %v at band %d", g, i)
+			}
+			if g < minEstimatedGain || g > maxEstimatedGain {
+				t.Fatalf("gain %v at band %d outside clamp range", g, i)
+			}
+			if math.IsNaN(est.Freqs[i]) || est.Freqs[i] <= prev {
+				t.Fatalf("band centers not ascending at %d: %v after %v", i, est.Freqs[i], prev)
+			}
+			prev = est.Freqs[i]
+		}
+		for _, q := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -500, 0, 85, 1000, 1e12} {
+			g := est.Gain(q)
+			if math.IsNaN(g) || math.IsInf(g, 0) || g <= 0 {
+				t.Fatalf("Gain(%v) = %v not finite positive", q, g)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package attack
+
+import "testing"
+
+// TestKindsExhaustive pins Kinds() and String() to the kindCount sentinel:
+// adding an eighth kind to the const block without naming it (and without
+// wiring it through the corpus builder, which has its own exhaustiveness
+// test in internal/eval) fails here instead of silently shrinking
+// coverage.
+func TestKindsExhaustive(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != int(kindCount)-1 {
+		t.Fatalf("Kinds() returned %d kinds, const block declares %d", len(kinds), int(kindCount)-1)
+	}
+	seen := make(map[Kind]bool, len(kinds))
+	for i, k := range kinds {
+		if k != Kind(i+1) {
+			t.Errorf("Kinds()[%d] = %v, want %v", i, k, Kind(i+1))
+		}
+		if seen[k] {
+			t.Errorf("Kinds() repeats %v", k)
+		}
+		seen[k] = true
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no String() case", k)
+		}
+	}
+	for _, k := range []Kind{0, kindCount, kindCount + 1} {
+		if got := Kind(k).String(); got != "unknown" {
+			t.Errorf("out-of-range kind %d.String() = %q, want unknown", k, got)
+		}
+	}
+}
+
+// TestPaperKindsSubset pins the paper's four kinds as a strict prefix of
+// the full kind set: figure sweeps iterate PaperKinds and must stay on the
+// threat model of Section II.
+func TestPaperKindsSubset(t *testing.T) {
+	paper := PaperKinds()
+	want := []Kind{Random, Replay, Synthesis, HiddenVoice}
+	if len(paper) != len(want) {
+		t.Fatalf("PaperKinds() has %d kinds, want %d", len(paper), len(want))
+	}
+	for i, k := range want {
+		if paper[i] != k {
+			t.Errorf("PaperKinds()[%d] = %v, want %v", i, paper[i], k)
+		}
+	}
+	all := Kinds()
+	for i, k := range paper {
+		if all[i] != k {
+			t.Errorf("PaperKinds()[%d] = %v is not a prefix of Kinds()", i, k)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package attack
+
+import (
+	"fmt"
+
+	"vibguard/internal/device"
+)
+
+// NewContactTransducer returns the profile of a surface/contact exciter
+// (the SUAD injection device): clamped to the structure it drives well
+// below a normal loudspeaker's low cut, at the cost of more driver
+// distortion.
+func NewContactTransducer(sampleRate float64) device.Loudspeaker {
+	return device.Loudspeaker{
+		SampleRate: sampleRate,
+		LowCutHz:   40,
+		HighCutHz:  6000,
+		Distortion: 0.08,
+		Gain:       1.0,
+	}
+}
+
+// SolidChannelAttack renders the command through a contact transducer
+// clamped to the structure the victim devices sit on (the SUAD attack).
+// The returned waveform is the mechanical drive at the injection point;
+// acoustics.Room.TransmitSolid then carries it along the structure to each
+// receiver. Because the solid path sidesteps the barrier entirely — and
+// the structure's modal ridges pass part of the high band — the
+// cross-domain correlation the defense keys on is only partially
+// destroyed, making this the hard case of the extended threat model.
+func (a *Attacker) SolidChannelAttack(commandAudio []float64) ([]float64, error) {
+	if len(commandAudio) == 0 {
+		return nil, fmt.Errorf("attack: empty command audio")
+	}
+	transducer := NewContactTransducer(a.Loudspeaker.SampleRate)
+	out, err := transducer.Render(commandAudio)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package attack
+
+import (
+	"testing"
+
+	"vibguard/internal/dsp"
+)
+
+func TestSolidChannelAttack(t *testing.T) {
+	a := NewAttacker(8)
+	cmd := testCommand(t)
+	out, err := a.SolidChannelAttack(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(cmd) {
+		t.Errorf("length changed: %d -> %d", len(cmd), len(out))
+	}
+	if dsp.RMS(out) == 0 {
+		t.Error("silent solid-channel attack")
+	}
+	if _, err := a.SolidChannelAttack(nil); err == nil {
+		t.Error("empty command should error")
+	}
+}
+
+func TestContactTransducerProfile(t *testing.T) {
+	tr := NewContactTransducer(16000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	normal := NewAttacker(9).Loudspeaker
+	if tr.LowCutHz >= normal.LowCutHz {
+		t.Errorf("contact transducer low cut %v should be below a loudspeaker's %v", tr.LowCutHz, normal.LowCutHz)
+	}
+	if tr.Distortion <= normal.Distortion {
+		t.Errorf("contact transducer distortion %v should exceed a loudspeaker's %v", tr.Distortion, normal.Distortion)
+	}
+}

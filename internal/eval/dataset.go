@@ -6,6 +6,8 @@ import (
 
 	"vibguard/internal/acoustics"
 	"vibguard/internal/attack"
+	"vibguard/internal/core"
+	"vibguard/internal/detector"
 	"vibguard/internal/device"
 	"vibguard/internal/dsp"
 	"vibguard/internal/phoneme"
@@ -55,6 +57,14 @@ const mouthToWearableM = 0.3
 // barrier (10 cm in the paper).
 const loudspeakerToBarrierM = 0.1
 
+// structureToVAM and structureToWearM are the along-structure distances
+// from a solid-channel attacker's injection point to the VA device on the
+// table and to the wearable resting near its edge.
+const (
+	structureToVAM   = 0.5
+	structureToWearM = 1.2
+)
+
 // Sample is one evaluation trial: the pair of recordings plus ground
 // truth.
 type Sample struct {
@@ -84,6 +94,13 @@ type Generator struct {
 	attacker *attack.Attacker
 	rng      *rand.Rand
 	commands []phoneme.Command
+	// barrierEst caches the adversary's probe-measured barrier estimate
+	// per barrier (the probe is deterministic, so one measurement serves
+	// every bypass/adaptive sample against that barrier).
+	barrierEst map[string]*attack.GainEstimate
+	// oracle is the adaptive adversary's replica of the defense, built
+	// lazily on the first Adaptive sample.
+	oracle attack.Oracle
 }
 
 // NewGenerator creates a generator with the given participant count and
@@ -165,6 +182,81 @@ func sourceSPL(cond Condition, thruBarrier bool) float64 {
 		return cond.AttackSPL
 	}
 	return cond.UserSPL
+}
+
+// recordPairSolid captures a solid-channel attack drive on both devices:
+// the waveform travels along the room's structure (no barrier, no air
+// spreading) to the VA and the wearable. The wearable recording gets the
+// same network-delay lead as the airborne path.
+func (g *Generator) recordPairSolid(source []float64, cond Condition) (va, wear []float64, lead int, err error) {
+	lead = int(recordingContextSec * phoneme.SampleRate)
+	padded := dsp.Concat(make([]float64, lead), source, make([]float64, lead))
+	pVA, err := cond.Room.TransmitSolid(padded, acoustics.SolidPathConfig{
+		SourceSPL:  cond.AttackSPL,
+		DistanceM:  structureToVAM,
+		SampleRate: phoneme.SampleRate,
+	}, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	pWear, err := cond.Room.TransmitSolid(padded, acoustics.SolidPathConfig{
+		SourceSPL:  cond.AttackSPL,
+		DistanceM:  structureToWearM,
+		SampleRate: phoneme.SampleRate,
+	}, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	vaRec, err := g.va.Record(pVA, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	wearRec, err := g.wearable.Record(pWear, g.rng)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("eval: %w", err)
+	}
+	delay := 0.05 + g.rng.Float64()*0.1
+	wearRec = syncnet.SimulateNetworkDelay(wearRec, delay, phoneme.SampleRate, g.rng)
+	return vaRec, wearRec, lead, nil
+}
+
+// barrierEstimate returns the adversary's probe measurement of the room's
+// barrier, cached per barrier. The measurement is noiseless — the
+// adversary probes at leisure with a known chirp — so the estimate is
+// deterministic and the cache never changes the rng stream.
+func (g *Generator) barrierEstimate(room acoustics.Room) (*attack.GainEstimate, error) {
+	key := fmt.Sprintf("%s/%v", room.Barrier.Material, room.Barrier.ThicknessCM)
+	if est, ok := g.barrierEst[key]; ok {
+		return est, nil
+	}
+	probe := attack.ProbeSignal(phoneme.SampleRate)
+	received := room.Barrier.Apply(probe, phoneme.SampleRate)
+	est, err := attack.EstimateBarrierGain(probe, received, phoneme.SampleRate, 24)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	if g.barrierEst == nil {
+		g.barrierEst = make(map[string]*attack.GainEstimate)
+	}
+	g.barrierEst[key] = est
+	return est, nil
+}
+
+// adaptiveOracle lazily builds the adaptive adversary's replica of the
+// defense: the vibration-domain detector on the same wearable model,
+// which is the component the optimization must fool.
+func (g *Generator) adaptiveOracle() (attack.Oracle, error) {
+	if g.oracle != nil {
+		return g.oracle, nil
+	}
+	cfg := core.DefaultConfig(g.wearable, nil)
+	cfg.Method = detector.MethodVibration
+	d, err := core.NewDefense(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	g.oracle = d
+	return d, nil
 }
 
 // Legit generates a legitimate sample: participant voiceIdx speaks command
@@ -282,6 +374,75 @@ func (g *Generator) Attack(kind attack.Kind, victimIdx, cmdIdx int, cond Conditi
 		if err != nil {
 			return nil, err
 		}
+	case attack.SolidChannel:
+		// SUAD-style: the command (victim's replayed voice) is driven into
+		// the structure the devices sit on, so it never crosses the
+		// barrier. The solid path has its own record helper — return here.
+		synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(victim))
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		drive, err := g.attacker.SolidChannelAttack(utt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		vaRec, wearRec, lead, err := g.recordPairSolid(drive, cond)
+		if err != nil {
+			return nil, err
+		}
+		return &Sample{
+			VARec: vaRec, WearRec: wearRec, LeadSamples: lead,
+			IsAttack: true, AttackKind: kind,
+			Utterance: utt, Condition: cond,
+		}, nil
+	case attack.BarrierBypass:
+		synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(victim))
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		est, err := g.barrierEstimate(cond.Room)
+		if err != nil {
+			return nil, err
+		}
+		sourceUtt = utt
+		attackAudio, err = g.attacker.BarrierBypassAttack(utt.Samples, est, attack.DefaultBypassConfig(phoneme.SampleRate))
+		if err != nil {
+			return nil, err
+		}
+	case attack.Adaptive:
+		synth, err := phoneme.NewSynthesizer(g.withUtteranceSeed(victim))
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		utt, err := synth.Synthesize(cmd)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		est, err := g.barrierEstimate(cond.Room)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := g.adaptiveOracle()
+		if err != nil {
+			return nil, err
+		}
+		acfg := attack.DefaultAdaptiveConfig(g.rng.Int63())
+		acfg.VADistanceM = loudspeakerToBarrierM + cond.BarrierToVAM
+		acfg.WearDistanceM = loudspeakerToBarrierM + cond.BarrierToWearableM
+		res, err := g.attacker.AdaptiveAttack(utt.Samples, est, oracle, acfg)
+		if err != nil {
+			return nil, err
+		}
+		sourceUtt = utt
+		attackAudio = res.Audio
 	default:
 		return nil, fmt.Errorf("eval: unknown attack kind %d", kind)
 	}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"vibguard/internal/attack"
+	"vibguard/internal/detector"
+	"vibguard/internal/device"
+	"vibguard/internal/selection"
+)
+
+// TestCorpusBuilderCoversEveryKind is the eval half of the exhaustiveness
+// satellite: the generator must produce a well-formed sample for every
+// kind in attack.Kinds() — an eighth kind added to the enum without a
+// switch case in Generator.Attack fails here via the default-case error —
+// and BuildDataset with no Kinds restriction must cover the same set.
+func TestCorpusBuilderCoversEveryKind(t *testing.T) {
+	g, err := NewGenerator(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := DefaultCondition()
+	for _, kind := range attack.Kinds() {
+		s, err := g.Attack(kind, 0, 0, cond)
+		if err != nil {
+			t.Fatalf("%v: corpus builder cannot generate it: %v", kind, err)
+		}
+		if !s.IsAttack || s.AttackKind != kind {
+			t.Errorf("%v: bad labels", kind)
+		}
+		if len(s.VARec) == 0 || len(s.WearRec) <= len(s.VARec) {
+			t.Errorf("%v: recording lengths %d/%d", kind, len(s.VARec), len(s.WearRec))
+		}
+		if s.Utterance == nil {
+			t.Errorf("%v: missing source utterance (oracle spans need it)", kind)
+		}
+	}
+
+	ds, err := BuildDataset(DatasetConfig{
+		Participants:    2,
+		CommandsPerUser: 1,
+		AttacksPerKind:  1,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Attacks) != len(attack.Kinds()) {
+		t.Fatalf("unrestricted dataset covers %d kinds, Kinds() declares %d", len(ds.Attacks), len(attack.Kinds()))
+	}
+	for _, kind := range attack.Kinds() {
+		if len(ds.Attacks[kind]) != 1 {
+			t.Errorf("%v: %d samples in unrestricted dataset, want 1", kind, len(ds.Attacks[kind]))
+		}
+	}
+}
+
+// buildAdaptiveSet builds a small adaptive-only dataset at a fixed seed.
+func buildAdaptiveSet(t *testing.T, seed int64) *Dataset {
+	t.Helper()
+	ds, err := BuildDataset(DatasetConfig{
+		Participants:    2,
+		CommandsPerUser: 1,
+		AttacksPerKind:  3,
+		Kinds:           []attack.Kind{attack.Adaptive},
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestAdaptiveCorpusSeedDeterministic is the eval half of the determinism
+// satellite: building the adaptive-adversary corpus twice from the same
+// seed yields bit-identical recordings, and scoring it with the parallel
+// engine is bit-identical for any worker count. Different seeds produce
+// different corpora.
+func TestAdaptiveCorpusSeedDeterministic(t *testing.T) {
+	ds1 := buildAdaptiveSet(t, 11)
+	ds2 := buildAdaptiveSet(t, 11)
+	a1, a2 := ds1.Attacks[attack.Adaptive], ds2.Attacks[attack.Adaptive]
+	if len(a1) != len(a2) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		for _, pair := range []struct {
+			name   string
+			x1, x2 []float64
+		}{{"va", a1[i].VARec, a2[i].VARec}, {"wear", a1[i].WearRec, a2[i].WearRec}} {
+			if len(pair.x1) != len(pair.x2) {
+				t.Fatalf("sample %d %s: lengths differ", i, pair.name)
+			}
+			for j := range pair.x1 {
+				if math.Float64bits(pair.x1[j]) != math.Float64bits(pair.x2[j]) {
+					t.Fatalf("sample %d %s differs at %d", i, pair.name, j)
+				}
+			}
+		}
+	}
+
+	// Worker-count invariance on the adaptive samples.
+	provider := &OracleProvider{Selected: selection.CanonicalSelected()}
+	var scores [][]float64
+	for _, workers := range []int{1, 4} {
+		sc, err := NewParallelScorer(detector.MethodFull, device.NewFossilGen5(), provider, 99, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.ScoreAll(a1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, got)
+	}
+	for i := range scores[0] {
+		if math.Float64bits(scores[0][i]) != math.Float64bits(scores[1][i]) {
+			t.Errorf("score %d differs across worker counts: %v vs %v", i, scores[0][i], scores[1][i])
+		}
+	}
+
+	// A different seed must explore differently.
+	ds3 := buildAdaptiveSet(t, 12)
+	a3 := ds3.Attacks[attack.Adaptive]
+	identical := len(a1[0].VARec) == len(a3[0].VARec)
+	if identical {
+		for j := range a1[0].VARec {
+			if math.Float64bits(a1[0].VARec[j]) != math.Float64bits(a3[0].VARec[j]) {
+				identical = false
+				break
+			}
+		}
+	}
+	if identical {
+		t.Error("different seeds produced an identical adaptive corpus")
+	}
+}

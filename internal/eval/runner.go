@@ -75,7 +75,8 @@ type DatasetConfig struct {
 	CommandsPerUser int
 	// AttacksPerKind is the number of attack samples per attack type.
 	AttacksPerKind int
-	// Kinds restricts the attack kinds (nil means all four).
+	// Kinds restricts the attack kinds (nil means every kind, the paper's
+	// four plus the adaptive-adversary extensions).
 	Kinds []attack.Kind
 	// Conditions to cycle through (nil means the default condition).
 	Conditions []Condition

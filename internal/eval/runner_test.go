@@ -28,8 +28,8 @@ func TestBuildDatasetShape(t *testing.T) {
 	if len(ds.Legit) != 8 {
 		t.Errorf("legit samples = %d, want 8", len(ds.Legit))
 	}
-	if len(ds.Attacks) != 4 {
-		t.Errorf("attack kinds = %d, want 4", len(ds.Attacks))
+	if len(ds.Attacks) != len(attack.Kinds()) {
+		t.Errorf("attack kinds = %d, want %d", len(ds.Attacks), len(attack.Kinds()))
 	}
 	for kind, samples := range ds.Attacks {
 		if len(samples) != 3 {

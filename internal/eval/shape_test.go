@@ -29,7 +29,7 @@ func TestHeadlineShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	provider := &OracleProvider{Selected: selection.CanonicalSelected()}
-	for _, kind := range attack.Kinds() {
+	for _, kind := range attack.PaperKinds() {
 		sums, err := EvaluateArms(ds, ds.Attacks[kind], device.NewFossilGen5(), provider, 7)
 		if err != nil {
 			t.Fatal(err)
@@ -55,6 +55,58 @@ func TestHeadlineShape(t *testing.T) {
 		// Every vibration-domain arm must beat chance decisively.
 		if vib.AUC < 0.85 {
 			t.Errorf("%v: vibration baseline AUC = %.3f", kind, vib.AUC)
+		}
+	}
+}
+
+// TestExtensionAttackShape pins the adaptive-adversary extensions to their
+// measured regime: the paper's orderings do NOT hold for these kinds — that
+// is the point of adding them — so instead of the strict headline bounds we
+// pin each kind's verdict and a loose AUC floor. Solid channel is the hard
+// case (partial cross-domain correlation survives, defense near chance);
+// barrier bypass and the adaptive hill-climb degrade but do not break it.
+func TestExtensionAttackShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swept dataset takes ~30s")
+	}
+	ds, err := BuildDataset(DatasetConfig{
+		Participants:    6,
+		CommandsPerUser: 3,
+		AttacksPerKind:  18,
+		Conditions:      StandardConditions(),
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := &OracleProvider{Selected: selection.CanonicalSelected()}
+	cases := []struct {
+		kind       attack.Kind
+		verdict    string
+		minFullAUC float64
+	}{
+		// Measured at this config: EER 47.2%, AUC 0.531 — near chance but
+		// not inverted. If tuning pushes AUC below 0.35 the channel has
+		// become a detector-inverter, which is a physics bug, not a
+		// stronger attack.
+		{attack.SolidChannel, "breaks", 0.35},
+		// Measured: EER 22.2%, AUC 0.846.
+		{attack.BarrierBypass, "degrades", 0.7},
+		// Measured: EER 22.2%, AUC 0.890.
+		{attack.Adaptive, "degrades", 0.7},
+	}
+	for _, tc := range cases {
+		sums, err := EvaluateArms(ds, ds.Attacks[tc.kind], device.NewFossilGen5(), provider, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := sums[2]
+		if got := VerdictFor(full.EER); got != tc.verdict {
+			t.Errorf("%v: full system EER %.1f%% -> verdict %q, want %q",
+				tc.kind, full.EER*100, got, tc.verdict)
+		}
+		if full.AUC < tc.minFullAUC {
+			t.Errorf("%v: full system AUC = %.3f, want >= %.2f", tc.kind, full.AUC, tc.minFullAUC)
 		}
 	}
 }
